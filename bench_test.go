@@ -1,0 +1,333 @@
+package quicksand
+
+// Repository-level benchmarks: one per paper table/figure (running the
+// experiment at TestScale; use `go run ./cmd/quicksand-bench -scale
+// full` for the paper-scale numbers reported in EXPERIMENTS.md), plus
+// micro-benchmarks of the runtime primitives those experiments rest
+// on. Benchmarks report key experiment outcomes as custom metrics so
+// regressions in *behaviour*, not just wall time, are visible.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gpu"
+	"repro/internal/proclet"
+	"repro/internal/sharded"
+	"repro/internal/sim"
+)
+
+// benchSystem builds the standard 2-machine benchmark fixture.
+func benchSystem() *core.System {
+	return core.NewSystem(core.DefaultConfig(), []cluster.MachineConfig{
+		{Cores: 8, MemBytes: 4 << 30},
+		{Cores: 8, MemBytes: 4 << 30},
+	})
+}
+
+// ---- Paper figures ----
+
+// BenchmarkFig1FillerMigration regenerates Figure 1: the filler
+// application migrating across machines every 10 ms.
+func BenchmarkFig1FillerMigration(b *testing.B) {
+	var goodput float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("fig1", experiments.TestScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		goodput = res.Values["quicksand.goodput_pct"]
+	}
+	b.ReportMetric(goodput, "goodput_%ideal")
+}
+
+// BenchmarkFig2Imbalance regenerates Figure 2: preprocessing-time
+// parity across imbalanced machine splits.
+func BenchmarkFig2Imbalance(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("fig2", experiments.TestScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, cfgName := range []string{"cpu-unbalanced", "mem-unbalanced", "both-unbalanced"} {
+			if r := res.Values[cfgName+".ratio"]; r > worst {
+				worst = r
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst_ratio_vs_baseline")
+}
+
+// BenchmarkFig3Adaptation regenerates Figure 3: compute proclets
+// tracking 4<->8 GPU swings.
+func BenchmarkFig3Adaptation(b *testing.B) {
+	var react float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("fig3", experiments.TestScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		react = res.Values["react_mean_ms"]
+	}
+	b.ReportMetric(react, "settle_ms")
+}
+
+// ---- Ablations ----
+
+func benchAblation(b *testing.B, id, metric, unit string) {
+	b.Helper()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.TestScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = res.Values[metric]
+	}
+	b.ReportMetric(v, unit)
+}
+
+func BenchmarkAblMigrationSweep(b *testing.B) {
+	benchAblation(b, "abl-migration", "latency_ms.10485760", "mig10MiB_ms")
+}
+
+func BenchmarkAblSplitSweep(b *testing.B) {
+	benchAblation(b, "abl-split", "split_ms.1048576", "split1MiB_ms")
+}
+
+func BenchmarkAblPrefetch(b *testing.B) {
+	benchAblation(b, "abl-prefetch", "speedup", "prefetch_speedup_x")
+}
+
+func BenchmarkAblSched(b *testing.B) {
+	benchAblation(b, "abl-sched", "global-only.goodput_pct", "globalonly_goodput_%")
+}
+
+func BenchmarkAblLocality(b *testing.B) {
+	benchAblation(b, "abl-locality", "speedup", "colocation_speedup_x")
+}
+
+// ---- Runtime micro-benchmarks ----
+
+// BenchmarkKernelEventThroughput measures raw simulator event
+// processing (host events per host second).
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := sim.NewKernel(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, tick)
+		}
+	}
+	k.After(time.Microsecond, tick)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkLocalInvoke measures same-machine proclet method dispatch.
+func BenchmarkLocalInvoke(b *testing.B) {
+	sys := benchSystem()
+	pr, err := sys.Runtime.Spawn("svc", 0, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr.Handle("noop", func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		return proclet.Msg{}, nil
+	})
+	b.ResetTimer()
+	sys.K.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Runtime.Invoke(p, 0, 0, pr.ID(), "noop", proclet.Msg{}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	sys.K.Run()
+}
+
+// BenchmarkRemoteInvoke measures cross-machine proclet RPC.
+func BenchmarkRemoteInvoke(b *testing.B) {
+	sys := benchSystem()
+	pr, err := sys.Runtime.Spawn("svc", 1, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr.Handle("noop", func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		return proclet.Msg{Bytes: 128}, nil
+	})
+	b.ResetTimer()
+	sys.K.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Runtime.Invoke(p, 0, 0, pr.ID(), "noop", proclet.Msg{Bytes: 128}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	sys.K.Run()
+}
+
+// BenchmarkProcletMigration measures a 64 KiB proclet bouncing between
+// machines, reporting the virtual migration latency alongside host
+// cost.
+func BenchmarkProcletMigration(b *testing.B) {
+	sys := benchSystem()
+	pr, err := sys.Runtime.Spawn("migrant", 0, 64<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sys.K.Spawn("ctl", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := sys.Runtime.Migrate(p, pr.ID(), cluster.MachineID(1-int(pr.Location()))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	sys.K.Run()
+	b.ReportMetric(sys.Runtime.MigrationLatency.Mean()*1e6, "virtual_us/mig")
+}
+
+// BenchmarkShardedMapPut measures sharded map writes including the
+// amortized cost of splits.
+func BenchmarkShardedMapPut(b *testing.B) {
+	sys := benchSystem()
+	m, err := sharded.NewMap[int, int](sys, "bench", sharded.Options{MaxShardBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sys.K.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := m.Put(p, 0, i, i, 256); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	sys.K.Run()
+	b.ReportMetric(float64(m.NumShards()), "final_shards")
+}
+
+// BenchmarkShardedQueuePushPop measures the producer/consumer path
+// through a sharded queue.
+func BenchmarkShardedQueuePushPop(b *testing.B) {
+	sys := benchSystem()
+	q, err := sharded.NewQueue[int](sys, "bench", sharded.Options{MaxShardBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sys.K.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := q.Push(p, 0, i, 256); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	sys.K.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Pop(p, 1); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	sys.K.Run()
+}
+
+// BenchmarkVectorIterPrefetch measures streaming a sharded vector with
+// prefetch enabled.
+func BenchmarkVectorIterPrefetch(b *testing.B) {
+	sys := benchSystem()
+	v, err := sharded.NewVector[int](sys, "bench", sharded.Options{MaxShardBytes: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.K.Spawn("loader", func(p *sim.Proc) {
+		for i := 0; i < 4096; i++ {
+			v.PushBack(p, 1, i, 4<<10)
+		}
+	})
+	sys.K.Run()
+	b.ResetTimer()
+	sys.K.Spawn("reader", func(p *sim.Proc) {
+		done := 0
+		for done < b.N {
+			it := v.Iter(32)
+			for done < b.N {
+				_, ok, err := it.Next(p, 0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if !ok {
+					break
+				}
+				done++
+			}
+		}
+	})
+	sys.K.Run()
+}
+
+// ---- Extensions ----
+
+// BenchmarkExtGPUReclaim regenerates the GPU-proclet extension: spot
+// reclamations survived by device-state migration.
+func BenchmarkExtGPUReclaim(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("ext-gpu", experiments.TestScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = res.Values["gpu-proclets.ideal_pct"]
+	}
+	b.ReportMetric(pct, "ideal_%")
+}
+
+// BenchmarkExtHarvest regenerates fleet-wide idle harvesting.
+func BenchmarkExtHarvest(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("ext-harvest", experiments.TestScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = res.Values["quicksand.goodput_pct"]
+	}
+	b.ReportMetric(pct, "goodput_%ideal")
+}
+
+// BenchmarkGPUStep measures one training step (batch upload + kernel)
+// through the GPU proclet path.
+func BenchmarkGPUStep(b *testing.B) {
+	sys := benchSystem()
+	m := sys.Cluster.Machine(0)
+	m.AddGPUs(cluster.GPUConfig{Count: 1, MemBytes: 16 << 30, LinkBandwidth: 16_000_000_000})
+	gp, err := gpu.New(sys, "trainer", m.GPU(0), 1<<30, 100*time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sys.K.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := gp.Step(p, 0, 1<<20); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	sys.K.Run()
+}

@@ -1,0 +1,227 @@
+// Command qsctl inspects a Quicksand cluster run: it executes a canned
+// scenario on the simulator and dumps the control-plane trace
+// (placements, migrations, splits, merges), per-machine utilization,
+// and migration latency statistics — the observability surface an
+// operator of the real system would use.
+//
+// Usage:
+//
+//	qsctl [-scenario filler|pipeline|churn] [-horizon-ms N] [-events]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/sharded"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "filler", "scenario: filler, pipeline, churn, or gpu")
+	horizonMs := flag.Int("horizon-ms", 100, "virtual run length in milliseconds")
+	events := flag.Bool("events", false, "dump the full event trace")
+	flag.Parse()
+
+	sys := core.NewSystem(core.DefaultConfig(), []cluster.MachineConfig{
+		{Cores: 8, MemBytes: 2 << 30},
+		{Cores: 8, MemBytes: 2 << 30},
+	})
+	for _, m := range sys.Cluster.Machines() {
+		m.TrackUtilization()
+	}
+	sys.Start()
+
+	horizon := sim.Time(time.Duration(*horizonMs) * time.Millisecond)
+	var err error
+	switch *scenario {
+	case "filler":
+		err = runFiller(sys, horizon)
+	case "pipeline":
+		err = runPipeline(sys, horizon)
+	case "churn":
+		err = runChurn(sys, horizon)
+	case "gpu":
+		err = runGPU(sys, horizon)
+	default:
+		fmt.Fprintf(os.Stderr, "qsctl: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario %q ran to %v (%d events)\n\n", *scenario, sys.K.Now(), sys.K.EventsProcessed())
+	fmt.Println("-- control plane summary --")
+	for _, kind := range []trace.Kind{trace.KindSpawn, trace.KindMigrate, trace.KindSplit,
+		trace.KindMerge, trace.KindPressure, trace.KindRebalance, trace.KindDestroy} {
+		fmt.Printf("%-10s %5d\n", kind, sys.Trace.Count(kind))
+	}
+	fmt.Printf("\n-- migrations --\n")
+	ml := sys.Runtime.MigrationLatency
+	fmt.Printf("count %d  mean %.3f ms  p99 %.3f ms  max %.3f ms\n",
+		ml.Count(), ml.Mean()*1000, ml.Percentile(99)*1000, ml.Max()*1000)
+	fmt.Printf("\n-- machines --\n")
+	for _, m := range sys.Cluster.Machines() {
+		util := 0.0
+		if m.Util != nil {
+			util = m.Util.Mean(0, sys.K.Now()) / m.Cores() * 100
+		}
+		fmt.Printf("m%d: %2.0f cores, mem %d/%d MiB, mean cpu util %.1f%%, core-seconds %.3f\n",
+			m.ID, m.Cores(), m.MemUsed()>>20, m.MemCapacity()>>20, util, m.CoreSeconds)
+	}
+	fmt.Printf("\n-- proclets --\n")
+	for _, pr := range sys.Runtime.Proclets() {
+		fmt.Printf("%-20s id=%-4d machine=%d heap=%dKiB invocations=%d\n",
+			pr.Name(), pr.ID(), pr.Location(), pr.HeapBytes()>>10, pr.Invocations())
+	}
+	if *events {
+		fmt.Printf("\n-- event trace --\n%s", sys.Trace.String())
+	}
+}
+
+// runFiller reproduces a short Figure-1-style window: anti-phased
+// antagonists and a migrating filler pool.
+func runFiller(sys *core.System, horizon sim.Time) error {
+	k := sys.K
+	period := 20 * time.Millisecond
+	for i, m := range sys.Cluster.Machines() {
+		a := &workload.Antagonist{Machine: m, Period: period, Busy: period / 2,
+			Offset: time.Duration(i) * period / 2, Cores: m.Cores()}
+		a.Start(k)
+	}
+	pool, err := sys.NewPool("filler", 1, 8, 1, 8)
+	if err != nil {
+		return err
+	}
+	var feed func(cp *core.ComputeProclet)
+	feed = func(cp *core.ComputeProclet) {
+		cp.Run(func(tc *core.TaskCtx) {
+			tc.Compute(50 * time.Microsecond)
+			feed(tc.ComputeProclet())
+		})
+	}
+	for _, m := range pool.Members() {
+		feed(m)
+		feed(m)
+	}
+	k.RunUntil(horizon)
+	return nil
+}
+
+// runPipeline runs a short preprocessing pipeline over a sharded
+// vector into a sharded queue.
+func runPipeline(sys *core.System, horizon sim.Time) error {
+	vec, err := sharded.NewVector[workload.Image](sys, "images", sharded.Options{MaxShardBytes: 8 << 20, AutoAdapt: true})
+	if err != nil {
+		return err
+	}
+	queue, err := sharded.NewQueue[workload.Batch](sys, "batches", sharded.Options{MaxShardBytes: 8 << 20})
+	if err != nil {
+		return err
+	}
+	gpus := workload.NewGPUPool(queue, 0, time.Millisecond, 8)
+	gpus.Start(sys.K)
+	pool, err := sys.NewPool("preproc", 1, 8, 1, 16)
+	if err != nil {
+		return err
+	}
+	sys.K.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 256; i++ {
+			im := workload.Image{Idx: i, Bytes: 256 << 10, CPU: 2 * time.Millisecond}
+			if err := vec.PushBack(p, 0, im, im.Bytes); err != nil {
+				return
+			}
+		}
+		it := vec.Iter(16)
+		for {
+			im, ok, err := it.Next(p, 0)
+			if err != nil || !ok {
+				break
+			}
+			img := im
+			pool.Run(func(tc *core.TaskCtx) {
+				tc.Compute(img.CPU)
+				queue.Push(tc.Proc(), tc.Machine(), workload.Batch{Seq: img.Idx, Bytes: 16 << 10}, 16<<10)
+			})
+		}
+	})
+	sys.K.RunUntil(horizon)
+	gpus.Stop()
+	return nil
+}
+
+// runGPU exercises GPU proclets: trainers stepping on spot GPUs with a
+// rotating reclamation, evacuated by the fleet watcher.
+func runGPU(sys *core.System, horizon sim.Time) error {
+	for _, m := range sys.Cluster.Machines() {
+		m.AddGPUs(cluster.GPUConfig{Count: 2, MemBytes: 16 << 30, LinkBandwidth: 16_000_000_000})
+	}
+	fleet := gpu.NewFleet(sys, "trainers", time.Millisecond)
+	var trainers []*gpu.Proclet
+	for i := 0; i < 3; i++ {
+		gp, err := fleet.Add(fmt.Sprintf("trainer-%d", i), 256<<20, 5*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		trainers = append(trainers, gp)
+		sys.K.Spawn("driver", func(p *sim.Proc) {
+			for p.Now() < horizon {
+				if err := gp.Step(p, gp.Device().Machine.ID, 8<<20); err != nil {
+					p.Sleep(time.Millisecond)
+				}
+			}
+		})
+	}
+	fleet.Start()
+	victim := 0
+	sys.K.Every(sim.Time(20*time.Millisecond), 30*time.Millisecond, func() bool {
+		g := trainers[victim%len(trainers)].Device()
+		victim++
+		g.SetAvailable(false)
+		sys.K.After(15*time.Millisecond, func() { g.SetAvailable(true) })
+		return sys.K.Now() < horizon
+	})
+	sys.K.RunUntil(horizon)
+	fleet.Stop()
+	for _, gp := range trainers {
+		fmt.Printf("%s: %d steps, now on %v\n", gp.Name(), gp.Steps.Value(), gp.Device())
+	}
+	fmt.Printf("fleet: %d evacuations (mean %.1f ms), %d stranded polls\n\n",
+		fleet.Evacuations.Value(), fleet.MigrationLatency.Mean()*1000, fleet.Stranded.Value())
+	return nil
+}
+
+// runChurn exercises split/merge on a sharded map under insert/delete
+// waves.
+func runChurn(sys *core.System, horizon sim.Time) error {
+	m, err := sharded.NewMap[int, []byte](sys, "kv", sharded.Options{MaxShardBytes: 1 << 20, AutoAdapt: true})
+	if err != nil {
+		return err
+	}
+	sys.K.Spawn("churner", func(p *sim.Proc) {
+		for wave := 0; ; wave++ {
+			for i := 0; i < 512; i++ {
+				if err := m.Put(p, 0, wave*10000+i, nil, 8<<10); err != nil {
+					return
+				}
+			}
+			for i := 0; i < 480; i++ {
+				if err := m.Delete(p, 0, wave*10000+i); err != nil {
+					return
+				}
+			}
+			p.Sleep(time.Millisecond)
+		}
+	})
+	sys.K.RunUntil(horizon)
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command quicksand-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	quicksand-bench [-scale full|test] [experiment ...]
+//	quicksand-bench -list
+//
+// With no experiment arguments it runs the whole suite. Experiment IDs
+// and what they reproduce are described in DESIGN.md's experiment
+// index; `-list` prints them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: full (paper) or test (CI)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csv := flag.Bool("csv", false, "emit plot-ready CSV time series instead of tables (fig1/fig3)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.List() {
+			fmt.Printf("%-15s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "full":
+		scale = experiments.FullScale
+	case "test":
+		scale = experiments.TestScale
+	default:
+		fmt.Fprintf(os.Stderr, "quicksand-bench: unknown scale %q (want full or test)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.List()
+	}
+	failed := false
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		res, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicksand-bench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+			continue
+		}
+		res.Print(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,15 @@
+// Package quicksand is the root of a full reproduction of "Unleashing
+// True Utility Computing with Quicksand" (HotOS '23): a framework for
+// fungible applications built from resource proclets that migrate,
+// split, and merge at millisecond granularity, together with the Nu
+// proclet substrate, a deterministic virtual-time cluster simulator,
+// sharded data structures, a distributed thread pool, flat storage,
+// baselines, and a benchmark harness regenerating every figure in the
+// paper's evaluation.
+//
+// Start with README.md for the layout, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for measured
+// results against the paper. The root package exists to host the
+// repository-level benchmark suite (bench_test.go); the library lives
+// under internal/.
+package quicksand

@@ -1,0 +1,80 @@
+// Gputrain: GPU resource proclets riding out spot reclamations — the
+// proclet type the paper defers to future work (§4), implemented in
+// internal/gpu.
+//
+// Four trainers hold 512 MiB model replicas in device memory across
+// two machines. A "provider" reclaims one of their GPUs every 100 ms;
+// the fleet watcher migrates the device state to a spare within tens
+// of milliseconds and training continues, no checkpoints, no restarts.
+//
+//	go run ./examples/gputrain
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+func main() {
+	sys := core.NewSystem(core.DefaultConfig(), []cluster.MachineConfig{
+		{Cores: 16, MemBytes: 32 << 30},
+		{Cores: 16, MemBytes: 32 << 30},
+	})
+	for _, m := range sys.Cluster.Machines() {
+		m.AddGPUs(cluster.GPUConfig{Count: 3, MemBytes: 16 << 30, LinkBandwidth: 16_000_000_000})
+	}
+
+	fleet := gpu.NewFleet(sys, "trainers", time.Millisecond)
+	var trainers []*gpu.Proclet
+	for i := 0; i < 4; i++ {
+		gp, err := fleet.Add(fmt.Sprintf("trainer-%d", i), 512<<20, 5*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainers = append(trainers, gp)
+		fmt.Printf("%s starts on %v\n", gp.Name(), gp.Device())
+	}
+	fleet.Start()
+
+	horizon := sim.Time(time.Second)
+	for _, gp := range trainers {
+		gp := gp
+		sys.K.Spawn("driver", func(p *sim.Proc) {
+			for p.Now() < horizon {
+				if err := gp.Step(p, gp.Device().Machine.ID, 8<<20); err != nil {
+					p.Sleep(time.Millisecond) // reclaimed; the fleet is on it
+				}
+			}
+		})
+	}
+
+	// The provider reclaims a trainer's GPU every 100 ms for 50 ms.
+	victim := 0
+	sys.K.Every(sim.Time(100*time.Millisecond), 100*time.Millisecond, func() bool {
+		g := trainers[victim%len(trainers)].Device()
+		victim++
+		g.SetAvailable(false)
+		sys.K.After(50*time.Millisecond, func() { g.SetAvailable(true) })
+		return sys.K.Now() < horizon
+	})
+
+	sys.K.RunUntil(horizon)
+	fleet.Stop()
+
+	fmt.Println()
+	var total int64
+	for _, gp := range trainers {
+		fmt.Printf("%s: %4d steps, ends on %v\n", gp.Name(), gp.Steps.Value(), gp.Device())
+		total += gp.Steps.Value()
+	}
+	ideal := float64(len(trainers)) * horizon.Seconds() / (5.5e-3)
+	fmt.Printf("\ntotal %d steps = %.1f%% of reclaim-free ideal\n", total, 100*float64(total)/ideal)
+	fmt.Printf("fleet evacuations: %d (mean %.1f ms each) across %d reclamations\n",
+		fleet.Evacuations.Value(), fleet.MigrationLatency.Mean()*1000, victim)
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// GPU models one accelerator attached to a machine: device memory,
+// serialized kernel execution, and a host link (PCIe) whose bandwidth
+// governs batch uploads and device-state transfers. Spot GPUs can be
+// reclaimed and returned at runtime via SetAvailable.
+type GPU struct {
+	Machine *Machine
+	Index   int
+
+	memCap  int64
+	memUsed int64
+
+	execFree sim.Time // kernels serialize on the device
+	linkFree sim.Time // host<->device transfers serialize on the link
+
+	available bool
+
+	// KernelSeconds accumulates device-busy time.
+	KernelSeconds float64
+}
+
+// GPUConfig sizes a machine's accelerators.
+type GPUConfig struct {
+	// Count is the number of GPUs on the machine.
+	Count int
+	// MemBytes is device memory per GPU.
+	MemBytes int64
+	// LinkBandwidth is host<->device bandwidth in bytes/second
+	// (PCIe-class; also used for device-to-device via host).
+	LinkBandwidth int64
+}
+
+// DefaultGPUConfig models a datacenter training accelerator.
+func DefaultGPUConfig(count int) GPUConfig {
+	return GPUConfig{
+		Count:         count,
+		MemBytes:      16 << 30,
+		LinkBandwidth: 16_000_000_000, // 16 GB/s
+	}
+}
+
+// AddGPUs attaches accelerators to the machine. Call once, before the
+// simulation starts.
+func (m *Machine) AddGPUs(cfg GPUConfig) {
+	if len(m.gpus) > 0 {
+		panic("cluster: GPUs already attached")
+	}
+	if cfg.Count <= 0 {
+		return
+	}
+	if cfg.LinkBandwidth <= 0 {
+		panic("cluster: GPU link bandwidth must be positive")
+	}
+	m.gpuLinkBw = cfg.LinkBandwidth
+	for i := 0; i < cfg.Count; i++ {
+		m.gpus = append(m.gpus, &GPU{
+			Machine:   m,
+			Index:     i,
+			memCap:    cfg.MemBytes,
+			available: true,
+		})
+	}
+}
+
+// NumGPUs returns how many GPUs the machine has.
+func (m *Machine) NumGPUs() int { return len(m.gpus) }
+
+// GPU returns the i-th GPU, or nil.
+func (m *Machine) GPU(i int) *GPU {
+	if i < 0 || i >= len(m.gpus) {
+		return nil
+	}
+	return m.gpus[i]
+}
+
+// GPUs returns all GPUs on the machine (not a copy).
+func (m *Machine) GPUs() []*GPU { return m.gpus }
+
+// GPULinkBandwidth returns the host<->device bandwidth.
+func (m *Machine) GPULinkBandwidth() int64 { return m.gpuLinkBw }
+
+// String identifies the GPU.
+func (g *GPU) String() string { return fmt.Sprintf("m%d/gpu%d", g.Machine.ID, g.Index) }
+
+// Available reports whether the GPU is currently usable (spot GPUs can
+// be reclaimed by the provider).
+func (g *GPU) Available() bool { return g.available }
+
+// SetAvailable marks the GPU reclaimed (false) or returned (true).
+func (g *GPU) SetAvailable(a bool) { g.available = a }
+
+// MemFree returns unallocated device memory.
+func (g *GPU) MemFree() int64 { return g.memCap - g.memUsed }
+
+// MemUsed returns allocated device memory.
+func (g *GPU) MemUsed() int64 { return g.memUsed }
+
+// AllocMem reserves device memory.
+func (g *GPU) AllocMem(bytes int64) error {
+	if bytes < 0 {
+		panic("cluster: negative GPU allocation")
+	}
+	if g.memUsed+bytes > g.memCap {
+		return fmt.Errorf("%w: %s: %d requested, %d free", ErrNoMemory, g, bytes, g.MemFree())
+	}
+	g.memUsed += bytes
+	return nil
+}
+
+// FreeMem releases device memory.
+func (g *GPU) FreeMem(bytes int64) {
+	if bytes < 0 || bytes > g.memUsed {
+		panic(fmt.Sprintf("cluster: bad GPU free of %d (used %d)", bytes, g.memUsed))
+	}
+	g.memUsed -= bytes
+}
+
+// ExecKernel runs d of device time, blocking the calling process.
+// Kernels serialize on the device.
+func (g *GPU) ExecKernel(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	k := g.Machine.k
+	start := k.Now()
+	if g.execFree > start {
+		start = g.execFree
+	}
+	end := start.Add(d)
+	g.execFree = end
+	g.KernelSeconds += d.Seconds()
+	p.SleepUntil(end)
+}
+
+// Upload transfers bytes from the host to the device over the link,
+// blocking the calling process. Transfers serialize on the link.
+func (g *GPU) Upload(p *sim.Proc, bytes int64) {
+	g.linkTransfer(p, bytes)
+}
+
+// Download transfers bytes from the device to the host.
+func (g *GPU) Download(p *sim.Proc, bytes int64) {
+	g.linkTransfer(p, bytes)
+}
+
+func (g *GPU) linkTransfer(p *sim.Proc, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	k := g.Machine.k
+	start := k.Now()
+	if g.linkFree > start {
+		start = g.linkFree
+	}
+	dur := time.Duration(float64(bytes) / float64(g.Machine.gpuLinkBw) * 1e9)
+	end := start.Add(dur)
+	g.linkFree = end
+	p.SleepUntil(end)
+}

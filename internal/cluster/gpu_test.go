@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func gpuMachine(t *testing.T, gpus int) (*sim.Kernel, *Machine) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	m := NewMachine(k, 0, "m", MachineConfig{Cores: 8, MemBytes: 1 << 30})
+	m.AddGPUs(GPUConfig{Count: gpus, MemBytes: 4 << 30, LinkBandwidth: 1_000_000_000})
+	return k, m
+}
+
+func TestAddGPUsAndAccessors(t *testing.T) {
+	_, m := gpuMachine(t, 3)
+	if m.NumGPUs() != 3 || len(m.GPUs()) != 3 {
+		t.Fatalf("NumGPUs = %d", m.NumGPUs())
+	}
+	if m.GPU(0) == nil || m.GPU(3) != nil || m.GPU(-1) != nil {
+		t.Error("GPU() bounds broken")
+	}
+	if m.GPULinkBandwidth() != 1_000_000_000 {
+		t.Errorf("link bw = %d", m.GPULinkBandwidth())
+	}
+	if m.GPU(1).String() != "m0/gpu1" {
+		t.Errorf("String = %q", m.GPU(1).String())
+	}
+	if !m.GPU(0).Available() {
+		t.Error("new GPU not available")
+	}
+}
+
+func TestAddGPUsTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, m := gpuMachine(t, 1)
+	m.AddGPUs(GPUConfig{Count: 1, MemBytes: 1, LinkBandwidth: 1})
+}
+
+func TestAddGPUsZeroCountNoop(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMachine(k, 0, "m", MachineConfig{Cores: 1})
+	m.AddGPUs(GPUConfig{Count: 0})
+	if m.NumGPUs() != 0 {
+		t.Errorf("NumGPUs = %d", m.NumGPUs())
+	}
+}
+
+func TestDefaultGPUConfig(t *testing.T) {
+	cfg := DefaultGPUConfig(4)
+	if cfg.Count != 4 || cfg.MemBytes <= 0 || cfg.LinkBandwidth <= 0 {
+		t.Errorf("DefaultGPUConfig = %+v", cfg)
+	}
+}
+
+func TestGPUKernelSerialization(t *testing.T) {
+	k, m := gpuMachine(t, 1)
+	g := m.GPU(0)
+	var d1, d2 sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		g.ExecKernel(p, 4*time.Millisecond)
+		d1 = p.Now()
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		g.ExecKernel(p, 4*time.Millisecond)
+		d2 = p.Now()
+	})
+	k.Run()
+	if d1 != 4*sim.Millisecond || d2 != 8*sim.Millisecond {
+		t.Errorf("kernels at %v/%v, want 4ms/8ms (serialized)", d1, d2)
+	}
+	if g.KernelSeconds != 0.008 {
+		t.Errorf("KernelSeconds = %v", g.KernelSeconds)
+	}
+}
+
+func TestGPULinkSerialization(t *testing.T) {
+	k, m := gpuMachine(t, 2)
+	g0, g1 := m.GPU(0), m.GPU(1)
+	var up, down, other sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		g0.Upload(p, 1_000_000) // 1ms at 1GB/s
+		up = p.Now()
+		g0.Download(p, 1_000_000)
+		down = p.Now()
+	})
+	// A different GPU's link is independent.
+	k.Spawn("b", func(p *sim.Proc) {
+		g1.Upload(p, 1_000_000)
+		other = p.Now()
+	})
+	k.Run()
+	if up != sim.Millisecond || down != 2*sim.Millisecond {
+		t.Errorf("g0 transfers at %v/%v, want 1ms/2ms (serialized per link)", up, down)
+	}
+	if other != sim.Millisecond {
+		t.Errorf("g1 transfer at %v, want 1ms (independent link)", other)
+	}
+}
+
+func TestGPUZeroTransfersFree(t *testing.T) {
+	k, m := gpuMachine(t, 1)
+	g := m.GPU(0)
+	k.Spawn("a", func(p *sim.Proc) {
+		g.Upload(p, 0)
+		g.ExecKernel(p, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero-cost ops advanced time to %v", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestGPUMemBounds(t *testing.T) {
+	_, m := gpuMachine(t, 1)
+	g := m.GPU(0)
+	if err := g.AllocMem(4 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AllocMem(1); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("err = %v", err)
+	}
+	if g.MemFree() != 0 || g.MemUsed() != 4<<30 {
+		t.Errorf("free=%d used=%d", g.MemFree(), g.MemUsed())
+	}
+	g.FreeMem(4 << 30)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-free")
+		}
+	}()
+	g.FreeMem(1)
+}

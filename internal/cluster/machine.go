@@ -1,0 +1,369 @@
+// Package cluster models the physical machines Quicksand runs on: CPU
+// cores, memory capacity, and the pressure signals the scheduler reads.
+//
+// CPU is modeled as a processor-sharing server: every runnable task
+// receives an equal share of the machine's available cores, capped at
+// one core per task (tasks are single threads of execution; parallel
+// work submits several tasks). High-priority co-located applications —
+// such as Figure 1's latency-critical antagonist — are modeled as core
+// *reservations* that modulate the capacity available to everything
+// else, which is exactly how they affect a best-effort filler.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// MachineID identifies a machine; it doubles as the machine's network
+// node ID on the cluster fabric.
+type MachineID int
+
+// ErrNoMemory is returned when an allocation exceeds free memory.
+var ErrNoMemory = errors.New("cluster: out of memory")
+
+// MachineConfig sizes a machine.
+type MachineConfig struct {
+	Cores    float64 // CPU capacity in cores
+	MemBytes int64   // RAM capacity in bytes
+}
+
+// Task is one single-threaded unit of CPU work executing under
+// processor sharing. Tasks are created with Submit and either run to
+// completion or are canceled (for example when their proclet migrates
+// and the remaining work should move to another machine).
+type Task struct {
+	m         *Machine
+	id        int64
+	remaining float64 // core-nanoseconds of work left
+	done      *sim.Cond
+	finished  bool
+	canceled  bool
+}
+
+// Canceled reports whether the task was canceled before completing.
+func (t *Task) Canceled() bool { return t.canceled }
+
+// Remaining returns the core-time the task still owes. It is only
+// meaningful after cancellation (it is settled at cancel time).
+func (t *Task) Remaining() time.Duration {
+	if t.remaining < 0 {
+		return 0
+	}
+	return time.Duration(math.Ceil(t.remaining))
+}
+
+// Wait blocks the calling process until the task completes or is
+// canceled. It reports whether the task was canceled and, if so, how
+// much work remains.
+func (t *Task) Wait(p *sim.Proc) (canceled bool, remaining time.Duration) {
+	if !t.finished {
+		t.done.Wait(p)
+	}
+	if t.canceled {
+		return true, t.Remaining()
+	}
+	return false, 0
+}
+
+// Cancel removes the task from the machine, settling its remaining
+// work. Canceling a finished task is a no-op.
+func (t *Task) Cancel() {
+	if t.finished {
+		return
+	}
+	m := t.m
+	m.settle()
+	delete(m.tasks, t.id)
+	t.finished = true
+	t.canceled = true
+	t.done.Broadcast()
+	m.recordUtil()
+	m.reschedule()
+}
+
+// Machine is a simulated server.
+type Machine struct {
+	ID   MachineID
+	Name string
+
+	k   *sim.Kernel
+	cfg MachineConfig
+
+	// CPU processor-sharing state.
+	tasks      map[int64]*Task
+	nextTaskID int64
+	reserved   float64  // cores taken by high-priority work
+	lastSettle sim.Time // last time remaining-work was settled
+	gen        uint64   // invalidates stale completion events
+
+	memUsed int64
+
+	// Accelerators (see gpu.go).
+	gpus      []*GPU
+	gpuLinkBw int64
+
+	// CoreSeconds accumulates CPU work completed on this machine, in
+	// core-seconds. Reserved (antagonist) cores are not counted.
+	CoreSeconds float64
+	// Util, when non-nil, receives a busy-core sample at every CPU
+	// state transition. Enable with TrackUtilization.
+	Util *metrics.TimeSeries
+	// MemSeries, when non-nil, receives memory-used samples on every
+	// allocation change.
+	MemSeries *metrics.TimeSeries
+}
+
+// NewMachine creates a standalone machine on the kernel. Most callers
+// use Cluster.AddMachine instead.
+func NewMachine(k *sim.Kernel, id MachineID, name string, cfg MachineConfig) *Machine {
+	if cfg.Cores <= 0 {
+		panic("cluster: machine needs positive core count")
+	}
+	if cfg.MemBytes < 0 {
+		panic("cluster: negative memory capacity")
+	}
+	return &Machine{
+		ID:    id,
+		Name:  name,
+		k:     k,
+		cfg:   cfg,
+		tasks: make(map[int64]*Task),
+	}
+}
+
+// Config returns the machine's static configuration.
+func (m *Machine) Config() MachineConfig { return m.cfg }
+
+// Cores returns the machine's total core count.
+func (m *Machine) Cores() float64 { return m.cfg.Cores }
+
+// TrackUtilization attaches a time series that records busy cores
+// (including reserved capacity) at every transition.
+func (m *Machine) TrackUtilization() *metrics.TimeSeries {
+	m.Util = metrics.NewTimeSeries(fmt.Sprintf("machine-%d.busy_cores", m.ID))
+	m.recordUtil()
+	return m.Util
+}
+
+// TrackMemory attaches a time series recording bytes in use.
+func (m *Machine) TrackMemory() *metrics.TimeSeries {
+	m.MemSeries = metrics.NewTimeSeries(fmt.Sprintf("machine-%d.mem_used", m.ID))
+	m.MemSeries.Add(m.k.Now(), float64(m.memUsed))
+	return m.MemSeries
+}
+
+// availCores returns the capacity left after reservations.
+func (m *Machine) availCores() float64 {
+	a := m.cfg.Cores - m.reserved
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// AvailCores returns cores available to best-effort work.
+func (m *Machine) AvailCores() float64 { return m.availCores() }
+
+// Reserved returns the cores reserved for high-priority work.
+func (m *Machine) Reserved() float64 { return m.reserved }
+
+// Runnable returns the number of tasks currently executing or waiting
+// for CPU share.
+func (m *Machine) Runnable() int { return len(m.tasks) }
+
+// perTaskRate returns the core share each task currently receives.
+func (m *Machine) perTaskRate() float64 {
+	n := len(m.tasks)
+	if n == 0 {
+		return 0
+	}
+	rate := m.availCores() / float64(n)
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// BusyCores returns cores currently in use, counting reservations.
+func (m *Machine) BusyCores() float64 {
+	return math.Min(m.reserved, m.cfg.Cores) + m.perTaskRate()*float64(len(m.tasks))
+}
+
+// Utilization returns BusyCores as a fraction of total cores.
+func (m *Machine) Utilization() float64 { return m.BusyCores() / m.cfg.Cores }
+
+// CPUPressure returns demand over available capacity for best-effort
+// work: the number of runnable tasks divided by available cores.
+// Values above 1 mean tasks are receiving less than a full core each;
+// +Inf means work is queued against zero capacity.
+func (m *Machine) CPUPressure() float64 {
+	n := float64(len(m.tasks))
+	if n == 0 {
+		return 0
+	}
+	avail := m.availCores()
+	if avail == 0 {
+		return math.Inf(1)
+	}
+	return n / avail
+}
+
+// settle charges elapsed virtual time against every task's remaining
+// work at the rate that has been in effect since the last settle.
+func (m *Machine) settle() {
+	now := m.k.Now()
+	if now == m.lastSettle {
+		return
+	}
+	elapsed := float64(now - m.lastSettle)
+	rate := m.perTaskRate()
+	if rate > 0 {
+		for _, t := range m.tasks {
+			t.remaining -= elapsed * rate
+		}
+		m.CoreSeconds += elapsed * rate * float64(len(m.tasks)) / 1e9
+	}
+	m.lastSettle = now
+}
+
+// reschedule computes the next task completion and schedules it. Any
+// previously scheduled completion event becomes stale via m.gen.
+func (m *Machine) reschedule() {
+	m.gen++
+	rate := m.perTaskRate()
+	if rate <= 0 || len(m.tasks) == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for _, t := range m.tasks {
+		if t.remaining < minRem {
+			minRem = t.remaining
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	dt := time.Duration(math.Ceil(minRem / rate))
+	gen := m.gen
+	m.k.After(dt, func() {
+		if gen != m.gen {
+			return
+		}
+		m.completeFinished()
+	})
+}
+
+// completeFinished settles and retires every task whose work is done.
+func (m *Machine) completeFinished() {
+	m.settle()
+	const eps = 0.5 // sub-nanosecond residue from float math
+	for id, t := range m.tasks {
+		if t.remaining <= eps {
+			delete(m.tasks, id)
+			t.finished = true
+			t.done.Broadcast()
+		}
+	}
+	m.recordUtil()
+	m.reschedule()
+}
+
+func (m *Machine) recordUtil() {
+	if m.Util != nil {
+		m.Util.Add(m.k.Now(), m.BusyCores())
+	}
+}
+
+// Submit enqueues `work` of single-core CPU time and returns the task
+// handle. The caller typically Waits on it; a controller may Cancel it.
+// Work must be positive.
+func (m *Machine) Submit(work time.Duration) *Task {
+	if work <= 0 {
+		panic("cluster: Submit requires positive work")
+	}
+	m.settle()
+	m.nextTaskID++
+	t := &Task{
+		m:         m,
+		id:        m.nextTaskID,
+		remaining: float64(work),
+		done:      &sim.Cond{},
+	}
+	m.tasks[t.id] = t
+	m.recordUtil()
+	m.reschedule()
+	return t
+}
+
+// Exec runs `work` of single-core CPU time on the machine, blocking the
+// calling process until the work completes under processor sharing.
+// Zero or negative work returns immediately.
+func (m *Machine) Exec(p *sim.Proc, work time.Duration) {
+	if work <= 0 {
+		return
+	}
+	m.Submit(work).Wait(p)
+}
+
+// SetReserved changes the cores reserved for high-priority work,
+// immediately re-dividing the remainder among best-effort tasks.
+func (m *Machine) SetReserved(cores float64) {
+	if cores < 0 {
+		panic("cluster: negative reservation")
+	}
+	m.settle()
+	m.reserved = cores
+	m.recordUtil()
+	m.reschedule()
+}
+
+// AllocMem reserves bytes of RAM, failing with ErrNoMemory if the
+// machine cannot hold them.
+func (m *Machine) AllocMem(bytes int64) error {
+	if bytes < 0 {
+		panic("cluster: negative allocation")
+	}
+	if m.memUsed+bytes > m.cfg.MemBytes {
+		return fmt.Errorf("%w: machine %d: %d requested, %d free",
+			ErrNoMemory, m.ID, bytes, m.MemFree())
+	}
+	m.memUsed += bytes
+	if m.MemSeries != nil {
+		m.MemSeries.Add(m.k.Now(), float64(m.memUsed))
+	}
+	return nil
+}
+
+// FreeMem releases bytes of RAM.
+func (m *Machine) FreeMem(bytes int64) {
+	if bytes < 0 || bytes > m.memUsed {
+		panic(fmt.Sprintf("cluster: bad free of %d bytes (used %d)", bytes, m.memUsed))
+	}
+	m.memUsed -= bytes
+	if m.MemSeries != nil {
+		m.MemSeries.Add(m.k.Now(), float64(m.memUsed))
+	}
+}
+
+// MemUsed returns bytes currently allocated.
+func (m *Machine) MemUsed() int64 { return m.memUsed }
+
+// MemCapacity returns the machine's total RAM.
+func (m *Machine) MemCapacity() int64 { return m.cfg.MemBytes }
+
+// MemFree returns unallocated RAM.
+func (m *Machine) MemFree() int64 { return m.cfg.MemBytes - m.memUsed }
+
+// MemPressure returns used over capacity in [0,1].
+func (m *Machine) MemPressure() float64 {
+	if m.cfg.MemBytes == 0 {
+		return 1
+	}
+	return float64(m.memUsed) / float64(m.cfg.MemBytes)
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/proclet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ErrPoolLimit is returned when Grow/Shrink would exceed pool bounds.
+var ErrPoolLimit = errors.New("core: pool size limit reached")
+
+// TaskFn is one unit of work executed by a compute proclet. It runs on
+// a proclet thread, so its Compute calls follow the proclet across
+// migrations.
+type TaskFn func(tc *TaskCtx)
+
+// TaskCtx gives a running task access to its execution environment.
+type TaskCtx struct {
+	thread *proclet.Thread
+	cp     *ComputeProclet
+}
+
+// Proc returns the simulated process executing the task.
+func (tc *TaskCtx) Proc() *sim.Proc { return tc.thread.Proc() }
+
+// Compute burns d of single-core CPU on the proclet's current machine,
+// following migrations.
+func (tc *TaskCtx) Compute(d time.Duration) { tc.thread.Compute(d) }
+
+// Machine returns the machine currently hosting the compute proclet.
+func (tc *TaskCtx) Machine() cluster.MachineID { return tc.cp.pr.Location() }
+
+// System returns the owning system.
+func (tc *TaskCtx) System() *System { return tc.cp.sys }
+
+// ComputeProclet returns the proclet executing the task.
+func (tc *TaskCtx) ComputeProclet() *ComputeProclet { return tc.cp }
+
+// ComputeProclet is a resource proclet specialized for computation
+// (§3.1): a task queue drained by worker threads, with an almost-empty
+// heap so migration is fast. It exposes Run(lambda); oversized proclets
+// split by dividing the task queue (§3.3).
+type ComputeProclet struct {
+	sys  *System
+	pr   *proclet.Proclet
+	pool *Pool // nil for standalone proclets
+
+	queue    []TaskFn
+	qCond    sim.Cond
+	workers  int
+	running  int // tasks currently executing
+	stopping bool
+	idle     sim.Cond // signaled when queue empty and nothing running
+
+	executed int64
+}
+
+// NewComputeProcletOn creates a compute proclet with the given number
+// of worker threads on an explicit machine.
+func NewComputeProcletOn(sys *System, name string, m cluster.MachineID, workers int) (*ComputeProclet, error) {
+	if workers <= 0 {
+		panic("core: compute proclet needs at least one worker")
+	}
+	pr, err := sys.Runtime.Spawn(name, m, sys.cfg.ComputeProcletHeap)
+	if err != nil {
+		return nil, err
+	}
+	cp := &ComputeProclet{sys: sys, pr: pr, workers: workers}
+	pr.Data = cp
+	sys.Sched.register(pr, KindCompute)
+	for i := 0; i < workers; i++ {
+		pr.SpawnThread("worker", cp.workerLoop)
+	}
+	return cp, nil
+}
+
+// NewComputeProclet creates a compute proclet, letting the scheduler
+// pick the least-loaded machine.
+func (s *System) NewComputeProclet(name string, workers int) (*ComputeProclet, error) {
+	m, err := s.Sched.PlaceCompute()
+	if err != nil {
+		return nil, err
+	}
+	return NewComputeProcletOn(s, name, m, workers)
+}
+
+func (cp *ComputeProclet) workerLoop(t *proclet.Thread) {
+	for {
+		for len(cp.queue) == 0 && !cp.stopping {
+			// Idle worker: steal from a pool sibling before parking.
+			if cp.pool != nil && cp.pool.stealFor(cp) {
+				break
+			}
+			cp.qCond.Wait(t.Proc())
+		}
+		if len(cp.queue) == 0 && cp.stopping {
+			return
+		}
+		fn := cp.queue[0]
+		cp.queue = cp.queue[1:]
+		cp.running++
+		fn(&TaskCtx{thread: t, cp: cp})
+		cp.running--
+		cp.executed++
+		if cp.running == 0 && len(cp.queue) == 0 {
+			cp.idle.Broadcast()
+		}
+	}
+}
+
+// Run enqueues a task (§3.1's Run(lambda)). Safe to call from kernel
+// context or any simulated process; enqueueing itself is free. Tasks
+// submitted to a pool member that is being merged away are redirected
+// to the pool's surviving members.
+func (cp *ComputeProclet) Run(fn TaskFn) {
+	if cp.stopping {
+		if cp.pool != nil {
+			cp.pool.Run(fn)
+			return
+		}
+		panic(fmt.Sprintf("core: Run on stopping compute proclet %s", cp.pr.Name()))
+	}
+	cp.queue = append(cp.queue, fn)
+	cp.qCond.Signal()
+}
+
+// Proclet returns the underlying proclet.
+func (cp *ComputeProclet) Proclet() *proclet.Proclet { return cp.pr }
+
+// ID returns the underlying proclet ID.
+func (cp *ComputeProclet) ID() proclet.ID { return cp.pr.ID() }
+
+// Location returns the current machine.
+func (cp *ComputeProclet) Location() cluster.MachineID { return cp.pr.Location() }
+
+// QueueLen returns pending (not yet started) tasks.
+func (cp *ComputeProclet) QueueLen() int { return len(cp.queue) }
+
+// Running returns tasks currently executing.
+func (cp *ComputeProclet) Running() int { return cp.running }
+
+// Executed returns completed task count.
+func (cp *ComputeProclet) Executed() int64 { return cp.executed }
+
+// Workers returns the worker thread count.
+func (cp *ComputeProclet) Workers() int { return cp.workers }
+
+// Demand reports the proclet's CPU demand in cores for the scheduler:
+// the number of workers that have work to do.
+func (cp *ComputeProclet) Demand() float64 {
+	want := cp.running + len(cp.queue)
+	if want > cp.workers {
+		want = cp.workers
+	}
+	return float64(want)
+}
+
+// WaitIdle blocks until the proclet has no queued or running tasks.
+func (cp *ComputeProclet) WaitIdle(p *sim.Proc) {
+	for len(cp.queue) > 0 || cp.running > 0 {
+		cp.idle.Wait(p)
+	}
+}
+
+// stealHalf removes the back half of the pending queue (the newest
+// tasks) and returns it; used when splitting.
+func (cp *ComputeProclet) stealHalf() []TaskFn {
+	n := len(cp.queue) / 2
+	if n == 0 {
+		return nil
+	}
+	stolen := make([]TaskFn, n)
+	copy(stolen, cp.queue[len(cp.queue)-n:])
+	cp.queue = cp.queue[:len(cp.queue)-n]
+	return stolen
+}
+
+// drainAll removes and returns the entire pending queue (merging).
+func (cp *ComputeProclet) drainAll() []TaskFn {
+	q := cp.queue
+	cp.queue = nil
+	return q
+}
+
+// shutdown drains running work and destroys the proclet. Pending tasks
+// must already have been moved elsewhere.
+func (cp *ComputeProclet) shutdown(p *sim.Proc) error {
+	if len(cp.queue) > 0 {
+		panic("core: shutdown with pending tasks")
+	}
+	cp.stopping = true
+	cp.qCond.Broadcast()
+	for cp.running > 0 {
+		cp.idle.Wait(p)
+	}
+	cp.sys.Sched.unregister(cp.pr.ID())
+	return cp.sys.Runtime.Destroy(cp.pr.ID())
+}
+
+// Pool is an elastic group of compute proclets behind a single Run
+// interface. Growing splits the busiest member's task queue into a new
+// proclet (placed only where idle CPU exists, per §3.3); shrinking
+// merges a member's queue into its siblings and retires it.
+type Pool struct {
+	sys        *System
+	name       string
+	workersPer int
+	minSize    int
+	maxSize    int
+	members    []*ComputeProclet
+	nextName   int
+	rr         int
+
+	// Splits and Merges count adaptation actions; Steals counts tasks
+	// moved by idle workers stealing from loaded siblings.
+	Splits int64
+	Merges int64
+	Steals int64
+}
+
+// NewPool creates a pool with `initial` members of workersPer threads
+// each. minSize/maxSize bound adaptation (maxSize<=0 means unbounded).
+func (s *System) NewPool(name string, workersPer, initial, minSize, maxSize int) (*Pool, error) {
+	if initial < 1 || workersPer < 1 {
+		panic("core: pool needs at least one member and one worker")
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	pl := &Pool{sys: s, name: name, workersPer: workersPer, minSize: minSize, maxSize: maxSize}
+	for i := 0; i < initial; i++ {
+		if _, err := pl.addMember(); err != nil {
+			return nil, err
+		}
+	}
+	return pl, nil
+}
+
+func (pl *Pool) addMember() (*ComputeProclet, error) {
+	pl.nextName++
+	cp, err := pl.sys.NewComputeProclet(fmt.Sprintf("%s-%d", pl.name, pl.nextName), pl.workersPer)
+	if err != nil {
+		return nil, err
+	}
+	cp.pool = pl
+	pl.members = append(pl.members, cp)
+	return cp, nil
+}
+
+// Name returns the pool's name.
+func (pl *Pool) Name() string { return pl.name }
+
+// Size returns the current member count.
+func (pl *Pool) Size() int { return len(pl.members) }
+
+// Members returns the member proclets (not a copy).
+func (pl *Pool) Members() []*ComputeProclet { return pl.members }
+
+// Run dispatches a task to the member with the shortest backlog,
+// breaking ties round-robin.
+func (pl *Pool) Run(fn TaskFn) {
+	best := -1
+	bestLen := int(^uint(0) >> 1)
+	n := len(pl.members)
+	for i := 0; i < n; i++ {
+		idx := (pl.rr + i) % n
+		if l := pl.members[idx].QueueLen() + pl.members[idx].Running(); l < bestLen {
+			best, bestLen = idx, l
+		}
+	}
+	pl.rr = (pl.rr + 1) % n
+	pl.members[best].Run(fn)
+}
+
+// QueueLen returns total pending tasks across members.
+func (pl *Pool) QueueLen() int {
+	var sum int
+	for _, m := range pl.members {
+		sum += m.QueueLen()
+	}
+	return sum
+}
+
+// TotalExecuted sums completed tasks across current members.
+func (pl *Pool) TotalExecuted() int64 {
+	var sum int64
+	for _, m := range pl.members {
+		sum += m.Executed()
+	}
+	return sum
+}
+
+// WaitIdle blocks until every member is idle.
+func (pl *Pool) WaitIdle(p *sim.Proc) {
+	for _, m := range pl.members {
+		m.WaitIdle(p)
+	}
+}
+
+// Grow splits the pool: a new compute proclet is created on a machine
+// with idle CPU and takes half the busiest member's pending queue. It
+// reports false (without error) when the cluster has no spare CPU —
+// the paper's guard against creating excessive compute proclets.
+func (pl *Pool) Grow(p *sim.Proc) (bool, error) {
+	if pl.maxSize > 0 && len(pl.members) >= pl.maxSize {
+		return false, nil
+	}
+	if _, err := pl.sys.Sched.PlaceComputeIdle(); err != nil {
+		return false, nil // no idle CPU anywhere: do not split
+	}
+	victim := pl.busiest()
+	cp, err := pl.addMember()
+	if err != nil {
+		return false, err
+	}
+	for _, fn := range victim.stealHalf() {
+		cp.Run(fn)
+	}
+	pl.Splits++
+	pl.sys.Trace.Emitf(pl.sys.K.Now(), trace.KindSplit, pl.name,
+		int(victim.Location()), int(cp.Location()), "members=%d", len(pl.members))
+	return true, nil
+}
+
+// Shrink merges the pool: the least-loaded member's pending tasks move
+// to its siblings immediately; the member itself retires in the
+// background once its running tasks drain, so a controller can issue
+// several merges per tick without serializing on task completions.
+// It reports false when the pool is at its minimum size.
+func (pl *Pool) Shrink(p *sim.Proc) (bool, error) {
+	if len(pl.members) <= pl.minSize {
+		return false, nil
+	}
+	vIdx := pl.emptiestIdx()
+	victim := pl.members[vIdx]
+	pl.members = append(pl.members[:vIdx], pl.members[vIdx+1:]...)
+	pending := victim.drainAll()
+	for _, fn := range pending {
+		pl.Run(fn)
+	}
+	loc := victim.Location()
+	pl.sys.K.Spawn("pool-retire", func(rp *sim.Proc) {
+		victim.shutdown(rp)
+	})
+	pl.Merges++
+	pl.sys.Trace.Emitf(pl.sys.K.Now(), trace.KindMerge, pl.name,
+		int(loc), -1, "members=%d moved=%d", len(pl.members), len(pending))
+	return true, nil
+}
+
+// stealFor moves half of the busiest sibling's pending queue to the
+// idle member cp. It reports whether any tasks moved. Task closures
+// are tiny, so the transfer itself is free; the *data* the stolen
+// tasks touch still pays its own access costs wherever it lives.
+func (pl *Pool) stealFor(cp *ComputeProclet) bool {
+	var victim *ComputeProclet
+	for _, m := range pl.members {
+		if m == cp || m.QueueLen() < 2 {
+			continue
+		}
+		if victim == nil || m.QueueLen() > victim.QueueLen() {
+			victim = m
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	stolen := victim.stealHalf()
+	if len(stolen) == 0 {
+		return false
+	}
+	cp.queue = append(cp.queue, stolen...)
+	pl.Steals += int64(len(stolen))
+	return true
+}
+
+func (pl *Pool) busiest() *ComputeProclet {
+	best := pl.members[0]
+	for _, m := range pl.members[1:] {
+		if m.QueueLen() > best.QueueLen() {
+			best = m
+		}
+	}
+	return best
+}
+
+func (pl *Pool) emptiestIdx() int {
+	best := 0
+	for i, m := range pl.members {
+		if m.QueueLen()+m.Running() < pl.members[best].QueueLen()+pl.members[best].Running() {
+			best = i
+		}
+	}
+	return best
+}

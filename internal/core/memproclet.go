@@ -1,0 +1,416 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/proclet"
+	"repro/internal/sim"
+)
+
+// Memory-proclet method names (the runtime-level RPC surface behind
+// distributed pointers and sharded structures).
+const (
+	methodMemGet      = "mem.get"
+	methodMemPut      = "mem.put"
+	methodMemDel      = "mem.del"
+	methodMemScan     = "mem.scan"
+	methodMemPutBatch = "mem.putbatch"
+	methodMemDelRange = "mem.delrange"
+	methodMemTake     = "mem.take"
+	methodMemUpdate   = "mem.update"
+)
+
+// objOverheadBytes is the accounting overhead per stored object
+// (allocator metadata, index entry).
+const objOverheadBytes = 64
+
+// ErrNoObject is returned when dereferencing a dangling pointer.
+var ErrNoObject = errors.New("core: no such object")
+
+// objEntry is one stored object inside a memory proclet.
+type objEntry struct {
+	val   any
+	bytes int64
+}
+
+// MemoryProclet is a resource proclet specialized for memory: it stores
+// in-memory objects and exposes NewPtr-style distributed pointers for
+// access from anywhere in the cluster (§3.1). Its compute footprint is
+// negligible — data operations cost network transfer, not CPU — so the
+// scheduler places and migrates it purely by memory availability.
+type MemoryProclet struct {
+	sys     *System
+	pr      *proclet.Proclet
+	objs    map[uint64]objEntry
+	nextObj uint64
+}
+
+// putReq is the wire argument of mem.put.
+type putReq struct {
+	id    uint64
+	val   any
+	bytes int64
+}
+
+// scanReq asks for all objects with id in [lo, hi).
+type scanReq struct {
+	lo, hi uint64
+}
+
+// scanRes carries a batch of objects out of mem.scan; it doubles as the
+// argument to mem.putbatch (bulk loads and shard splits/merges).
+type scanRes struct {
+	ids   []uint64
+	vals  []any
+	bytes []int64
+}
+
+// totalBytes sums the batch's payload bytes.
+func (r *scanRes) totalBytes() int64 {
+	var sum int64
+	for _, b := range r.bytes {
+		sum += b
+	}
+	return sum
+}
+
+// NewMemoryProclet creates a memory proclet on an explicit machine.
+// Most callers use the scheduler-driven System.NewMemoryProclet.
+func NewMemoryProcletOn(sys *System, name string, m cluster.MachineID) (*MemoryProclet, error) {
+	pr, err := sys.Runtime.Spawn(name, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	mp := &MemoryProclet{sys: sys, pr: pr, objs: make(map[uint64]objEntry)}
+	pr.Data = mp
+	mp.registerMethods()
+	mp.registerMutators()
+	sys.Sched.register(pr, KindMemory)
+	return mp, nil
+}
+
+// NewMemoryProclet creates a memory proclet, letting the scheduler pick
+// the machine with the most free memory.
+func (s *System) NewMemoryProclet(name string, expectedBytes int64) (*MemoryProclet, error) {
+	m, err := s.Sched.PlaceMemory(expectedBytes)
+	if err != nil {
+		return nil, err
+	}
+	return NewMemoryProcletOn(s, name, m)
+}
+
+func (mp *MemoryProclet) registerMethods() {
+	mp.pr.Handle(methodMemGet, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		id := arg.Payload.(uint64)
+		e, ok := mp.objs[id]
+		if !ok {
+			return proclet.Msg{}, fmt.Errorf("%w: obj %d in %s", ErrNoObject, id, mp.pr.Name())
+		}
+		return proclet.Msg{Payload: e.val, Bytes: e.bytes}, nil
+	})
+	mp.pr.Handle(methodMemPut, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		r := arg.Payload.(*putReq)
+		old, existed := mp.objs[r.id]
+		delta := r.bytes + objOverheadBytes
+		if existed {
+			delta -= old.bytes + objOverheadBytes
+		}
+		if err := mp.pr.GrowHeap(delta); err != nil {
+			return proclet.Msg{}, err
+		}
+		mp.objs[r.id] = objEntry{val: r.val, bytes: r.bytes}
+		return proclet.Msg{}, nil
+	})
+	mp.pr.Handle(methodMemDel, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		id := arg.Payload.(uint64)
+		e, ok := mp.objs[id]
+		if !ok {
+			return proclet.Msg{}, fmt.Errorf("%w: obj %d", ErrNoObject, id)
+		}
+		delete(mp.objs, id)
+		if err := mp.pr.GrowHeap(-(e.bytes + objOverheadBytes)); err != nil {
+			return proclet.Msg{}, err
+		}
+		return proclet.Msg{}, nil
+	})
+	mp.pr.Handle(methodMemScan, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		r := arg.Payload.(*scanReq)
+		res := &scanRes{}
+		for _, id := range mp.idsInRange(r.lo, r.hi) {
+			e := mp.objs[id]
+			res.ids = append(res.ids, id)
+			res.vals = append(res.vals, e.val)
+			res.bytes = append(res.bytes, e.bytes)
+		}
+		return proclet.Msg{Payload: res, Bytes: res.totalBytes()}, nil
+	})
+	mp.pr.Handle(methodMemPutBatch, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		r := arg.Payload.(*scanRes)
+		var delta int64
+		for i, id := range r.ids {
+			if old, existed := mp.objs[id]; existed {
+				delta -= old.bytes + objOverheadBytes
+			}
+			delta += r.bytes[i] + objOverheadBytes
+		}
+		if err := mp.pr.GrowHeap(delta); err != nil {
+			return proclet.Msg{}, err
+		}
+		for i, id := range r.ids {
+			mp.objs[id] = objEntry{val: r.vals[i], bytes: r.bytes[i]}
+			if id > mp.nextObj {
+				mp.nextObj = id
+			}
+		}
+		return proclet.Msg{}, nil
+	})
+	mp.pr.Handle(methodMemDelRange, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		r := arg.Payload.(*scanReq)
+		var delta int64
+		for _, id := range mp.idsInRange(r.lo, r.hi) {
+			e := mp.objs[id]
+			delete(mp.objs, id)
+			delta -= e.bytes + objOverheadBytes
+		}
+		if delta != 0 {
+			if err := mp.pr.GrowHeap(delta); err != nil {
+				return proclet.Msg{}, err
+			}
+		}
+		return proclet.Msg{}, nil
+	})
+}
+
+// UpdateFn mutates one object in place, inside the memory proclet —
+// compute shipped to the data. It receives the old value (if any) and
+// returns the new value with its size; returning keep=false deletes the
+// object instead.
+type UpdateFn func(old any, exists bool) (val any, bytes int64, keep bool)
+
+// updateReq is the wire argument of mem.update. argBytes sizes the
+// closure's captured state on the wire.
+type updateReq struct {
+	id uint64
+	fn UpdateFn
+}
+
+// registerMutators installs the take/update methods (split out of
+// registerMethods for readability).
+func (mp *MemoryProclet) registerMutators() {
+	mp.pr.Handle(methodMemTake, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		id := arg.Payload.(uint64)
+		e, ok := mp.objs[id]
+		if !ok {
+			return proclet.Msg{}, fmt.Errorf("%w: obj %d in %s", ErrNoObject, id, mp.pr.Name())
+		}
+		delete(mp.objs, id)
+		if err := mp.pr.GrowHeap(-(e.bytes + objOverheadBytes)); err != nil {
+			return proclet.Msg{}, err
+		}
+		return proclet.Msg{Payload: e.val, Bytes: e.bytes}, nil
+	})
+	mp.pr.Handle(methodMemUpdate, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		r := arg.Payload.(*updateReq)
+		old, existed := mp.objs[r.id]
+		val, bytes, keep := r.fn(old.val, existed)
+		var delta int64
+		switch {
+		case keep && existed:
+			delta = bytes - old.bytes
+		case keep:
+			delta = bytes + objOverheadBytes
+		case existed:
+			delta = -(old.bytes + objOverheadBytes)
+		default:
+			return proclet.Msg{}, nil
+		}
+		if err := mp.pr.GrowHeap(delta); err != nil {
+			return proclet.Msg{}, err
+		}
+		if keep {
+			mp.objs[r.id] = objEntry{val: val, bytes: bytes}
+			if r.id > mp.nextObj {
+				mp.nextObj = r.id
+			}
+		} else {
+			delete(mp.objs, r.id)
+		}
+		return proclet.Msg{}, nil
+	})
+}
+
+// Put stores val at an explicit object ID (sharded structures derive
+// IDs from element indices or key hashes).
+func (mp *MemoryProclet) Put(p *sim.Proc, from cluster.MachineID, id uint64, val any, bytes int64) error {
+	_, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemPut,
+		proclet.Msg{Payload: &putReq{id: id, val: val, bytes: bytes}, Bytes: bytes})
+	return err
+}
+
+// Get fetches the object with the given ID.
+func (mp *MemoryProclet) Get(p *sim.Proc, from cluster.MachineID, id uint64) (any, error) {
+	res, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemGet,
+		proclet.Msg{Payload: id, Bytes: 8})
+	if err != nil {
+		return nil, err
+	}
+	return res.Payload, nil
+}
+
+// Del removes the object with the given ID.
+func (mp *MemoryProclet) Del(p *sim.Proc, from cluster.MachineID, id uint64) error {
+	_, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemDel,
+		proclet.Msg{Payload: id, Bytes: 8})
+	return err
+}
+
+// Take atomically fetches and removes the object (queue pops).
+func (mp *MemoryProclet) Take(p *sim.Proc, from cluster.MachineID, id uint64) (any, error) {
+	res, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemTake,
+		proclet.Msg{Payload: id, Bytes: 8})
+	if err != nil {
+		return nil, err
+	}
+	return res.Payload, nil
+}
+
+// Update applies fn to the object with the given ID inside the proclet,
+// charging argBytes for the shipped closure state. The object is
+// created, replaced, or deleted according to fn's result.
+func (mp *MemoryProclet) Update(p *sim.Proc, from cluster.MachineID, id uint64, argBytes int64, fn UpdateFn) error {
+	_, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemUpdate,
+		proclet.Msg{Payload: &updateReq{id: id, fn: fn}, Bytes: argBytes})
+	return err
+}
+
+// idsInRange returns the IDs of stored objects in [lo, hi), ascending.
+// It iterates the object table (not the range), so sparse ID spaces —
+// hash-sharded maps — scan in O(objects).
+func (mp *MemoryProclet) idsInRange(lo, hi uint64) []uint64 {
+	var ids []uint64
+	for id := range mp.objs {
+		if id >= lo && id < hi {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Scan reads all objects with IDs in [lo, hi) from the proclet.
+func (mp *MemoryProclet) Scan(p *sim.Proc, from cluster.MachineID, lo, hi uint64) (ids []uint64, vals []any, sizes []int64, err error) {
+	res, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemScan,
+		proclet.Msg{Payload: &scanReq{lo: lo, hi: hi}, Bytes: 16})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r := res.Payload.(*scanRes)
+	return r.ids, r.vals, r.bytes, nil
+}
+
+// PutBatch bulk-stores objects (used by loaders and shard splits).
+func (mp *MemoryProclet) PutBatch(p *sim.Proc, from cluster.MachineID, ids []uint64, vals []any, sizes []int64) error {
+	batch := &scanRes{ids: ids, vals: vals, bytes: sizes}
+	_, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemPutBatch,
+		proclet.Msg{Payload: batch, Bytes: batch.totalBytes()})
+	return err
+}
+
+// DelRange bulk-deletes objects with IDs in [lo, hi).
+func (mp *MemoryProclet) DelRange(p *sim.Proc, from cluster.MachineID, lo, hi uint64) error {
+	_, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemDelRange,
+		proclet.Msg{Payload: &scanReq{lo: lo, hi: hi}, Bytes: 16})
+	return err
+}
+
+// Proclet returns the underlying proclet.
+func (mp *MemoryProclet) Proclet() *proclet.Proclet { return mp.pr }
+
+// ID returns the underlying proclet ID.
+func (mp *MemoryProclet) ID() proclet.ID { return mp.pr.ID() }
+
+// Location returns the hosting machine.
+func (mp *MemoryProclet) Location() cluster.MachineID { return mp.pr.Location() }
+
+// HeapBytes returns accounted state size.
+func (mp *MemoryProclet) HeapBytes() int64 { return mp.pr.HeapBytes() }
+
+// NumObjects returns the number of stored objects.
+func (mp *MemoryProclet) NumObjects() int { return len(mp.objs) }
+
+// Destroy removes the proclet and its objects.
+func (mp *MemoryProclet) Destroy() error {
+	mp.sys.Sched.unregister(mp.pr.ID())
+	return mp.sys.Runtime.Destroy(mp.pr.ID())
+}
+
+// allocID reserves a fresh object ID (host-side; IDs are proclet-local).
+func (mp *MemoryProclet) allocID() uint64 {
+	mp.nextObj++
+	return mp.nextObj
+}
+
+// Ptr is a distributed pointer to an object stored in a memory proclet
+// (§3.1's NewPtr<T>). It stays valid across proclet migrations: the
+// runtime re-resolves the proclet's location on every dereference.
+type Ptr[T any] struct {
+	sys   *System
+	pid   proclet.ID
+	obj   uint64
+	bytes int64
+}
+
+// NewPtr allocates val into the memory proclet and returns a
+// distributed pointer to it. p is the allocating process; from is the
+// machine it runs on (invocation is routed like any other call).
+func NewPtr[T any](p *sim.Proc, from cluster.MachineID, mp *MemoryProclet, val T, bytes int64) (Ptr[T], error) {
+	id := mp.allocID()
+	_, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemPut,
+		proclet.Msg{Payload: &putReq{id: id, val: val, bytes: bytes}, Bytes: bytes})
+	if err != nil {
+		return Ptr[T]{}, err
+	}
+	return Ptr[T]{sys: mp.sys, pid: mp.ID(), obj: id, bytes: bytes}, nil
+}
+
+// Nil reports whether the pointer is unset.
+func (pt Ptr[T]) Nil() bool { return pt.sys == nil }
+
+// ProcletID returns the memory proclet holding the object.
+func (pt Ptr[T]) ProcletID() proclet.ID { return pt.pid }
+
+// Bytes returns the object's accounted size.
+func (pt Ptr[T]) Bytes() int64 { return pt.bytes }
+
+// Deref fetches the object from wherever its memory proclet currently
+// lives. Local access costs a function call; remote access an RPC
+// carrying the object's bytes.
+func (pt Ptr[T]) Deref(p *sim.Proc, from cluster.MachineID) (T, error) {
+	var zero T
+	res, err := pt.sys.Runtime.Invoke(p, from, 0, pt.pid, methodMemGet,
+		proclet.Msg{Payload: pt.obj, Bytes: 8})
+	if err != nil {
+		return zero, err
+	}
+	return res.Payload.(T), nil
+}
+
+// Store overwrites the object in place (same pointer, new value).
+func (pt *Ptr[T]) Store(p *sim.Proc, from cluster.MachineID, val T, bytes int64) error {
+	_, err := pt.sys.Runtime.Invoke(p, from, 0, pt.pid, methodMemPut,
+		proclet.Msg{Payload: &putReq{id: pt.obj, val: val, bytes: bytes}, Bytes: bytes})
+	if err == nil {
+		pt.bytes = bytes
+	}
+	return err
+}
+
+// Free deletes the object.
+func (pt Ptr[T]) Free(p *sim.Proc, from cluster.MachineID) error {
+	_, err := pt.sys.Runtime.Invoke(p, from, 0, pt.pid, methodMemDel,
+		proclet.Msg{Payload: pt.obj, Bytes: 8})
+	return err
+}

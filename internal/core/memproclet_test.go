@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/proclet"
+	"repro/internal/sim"
+)
+
+// testSystem builds a 2-machine system with generous defaults and a
+// fast-reacting scheduler (not started unless the test starts it).
+func testSystem(t *testing.T, machines ...cluster.MachineConfig) *System {
+	t.Helper()
+	if len(machines) == 0 {
+		machines = []cluster.MachineConfig{
+			{Cores: 8, MemBytes: 1 << 30},
+			{Cores: 8, MemBytes: 1 << 30},
+		}
+	}
+	cfg := DefaultConfig()
+	return NewSystem(cfg, machines)
+}
+
+func TestMaxShardBytesDerivation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TargetMigrationLatency = 5 * time.Millisecond
+	cfg.Net.Bandwidth = 12_500_000_000
+	want := int64(62_500_000) // 5ms at 12.5 GB/s
+	if got := cfg.MaxShardBytes(); got != want {
+		t.Errorf("MaxShardBytes = %d, want %d", got, want)
+	}
+}
+
+func TestMemoryProcletPutGet(t *testing.T) {
+	s := testSystem(t)
+	mp, err := NewMemoryProcletOn(s, "mem", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.K.Spawn("client", func(p *sim.Proc) {
+		ptr, err := NewPtr(p, 0, mp, "hello", 100)
+		if err != nil {
+			t.Errorf("NewPtr: %v", err)
+			return
+		}
+		v, err := ptr.Deref(p, 0)
+		if err != nil || v != "hello" {
+			t.Errorf("Deref = %q, %v", v, err)
+		}
+		// Heap accounting: value + overhead.
+		if mp.HeapBytes() != 100+objOverheadBytes {
+			t.Errorf("HeapBytes = %d, want %d", mp.HeapBytes(), 100+objOverheadBytes)
+		}
+		if err := ptr.Free(p, 0); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+		if mp.HeapBytes() != 0 {
+			t.Errorf("HeapBytes after free = %d", mp.HeapBytes())
+		}
+		if _, err := ptr.Deref(p, 0); !errors.Is(err, ErrNoObject) {
+			t.Errorf("Deref after free: %v, want ErrNoObject", err)
+		}
+	})
+	s.K.Run()
+}
+
+func TestPtrStoreOverwrites(t *testing.T) {
+	s := testSystem(t)
+	mp, _ := NewMemoryProcletOn(s, "mem", 0)
+	s.K.Spawn("client", func(p *sim.Proc) {
+		ptr, _ := NewPtr(p, 0, mp, 1, 50)
+		if err := ptr.Store(p, 0, 2, 80); err != nil {
+			t.Errorf("Store: %v", err)
+		}
+		v, _ := ptr.Deref(p, 0)
+		if v != 2 {
+			t.Errorf("Deref = %v, want 2", v)
+		}
+		if mp.HeapBytes() != 80+objOverheadBytes {
+			t.Errorf("HeapBytes = %d, want %d (overwrite replaces)", mp.HeapBytes(), 80+objOverheadBytes)
+		}
+	})
+	s.K.Run()
+}
+
+func TestPtrRemoteDerefCostsNetwork(t *testing.T) {
+	s := testSystem(t)
+	mp, _ := NewMemoryProcletOn(s, "mem", 1)
+	var local, remote time.Duration
+	s.K.Spawn("client", func(p *sim.Proc) {
+		ptr, _ := NewPtr(p, 0, mp, []byte("img"), 1<<20)
+		start := p.Now()
+		if _, err := ptr.Deref(p, 1); err != nil { // from the same machine
+			t.Errorf("local deref: %v", err)
+		}
+		local = p.Now().Sub(start)
+		start = p.Now()
+		if _, err := ptr.Deref(p, 0); err != nil { // across the wire
+			t.Errorf("remote deref: %v", err)
+		}
+		remote = p.Now().Sub(start)
+	})
+	s.K.Run()
+	if remote <= local {
+		t.Errorf("remote deref (%v) should cost more than local (%v)", remote, local)
+	}
+	// 1 MiB at 12.5 GB/s ~ 84us; remote must be at least the wire time.
+	if remote < 80*time.Microsecond {
+		t.Errorf("remote deref = %v, want >= ~84us of wire time", remote)
+	}
+}
+
+func TestPtrDerefFollowsMigration(t *testing.T) {
+	s := testSystem(t)
+	mp, _ := NewMemoryProcletOn(s, "mem", 0)
+	s.K.Spawn("client", func(p *sim.Proc) {
+		ptr, _ := NewPtr(p, 0, mp, 7, 64)
+		if err := s.Runtime.Migrate(p, mp.ID(), 1); err != nil {
+			t.Fatalf("Migrate: %v", err)
+		}
+		v, err := ptr.Deref(p, 0)
+		if err != nil || v != 7 {
+			t.Errorf("Deref after migration = %v, %v", v, err)
+		}
+	})
+	s.K.Run()
+	if s.Cluster.Machine(1).MemUsed() == 0 {
+		t.Error("object bytes did not move with the proclet")
+	}
+}
+
+func TestMemScanAndBatchOps(t *testing.T) {
+	s := testSystem(t)
+	src, _ := NewMemoryProcletOn(s, "src", 0)
+	dst, _ := NewMemoryProcletOn(s, "dst", 1)
+	s.K.Spawn("client", func(p *sim.Proc) {
+		var ids []uint64
+		var vals []any
+		var sizes []int64
+		for i := 0; i < 10; i++ {
+			ids = append(ids, uint64(i+1))
+			vals = append(vals, i*i)
+			sizes = append(sizes, 100)
+		}
+		if err := src.PutBatch(p, 0, ids, vals, sizes); err != nil {
+			t.Fatalf("PutBatch: %v", err)
+		}
+		if src.NumObjects() != 10 {
+			t.Errorf("NumObjects = %d, want 10", src.NumObjects())
+		}
+		gotIDs, gotVals, gotSizes, err := src.Scan(p, 0, 3, 7)
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		if len(gotIDs) != 4 || gotIDs[0] != 3 || gotVals[1].(int) != 9 || gotSizes[0] != 100 {
+			t.Errorf("Scan = %v %v %v", gotIDs, gotVals, gotSizes)
+		}
+		// Move the scanned range to dst (a shard split's data plane).
+		if err := dst.PutBatch(p, 0, gotIDs, gotVals, gotSizes); err != nil {
+			t.Fatalf("dst PutBatch: %v", err)
+		}
+		if err := src.DelRange(p, 0, 3, 7); err != nil {
+			t.Fatalf("DelRange: %v", err)
+		}
+		if src.NumObjects() != 6 || dst.NumObjects() != 4 {
+			t.Errorf("after move: src=%d dst=%d, want 6/4", src.NumObjects(), dst.NumObjects())
+		}
+		wantSrc := int64(6 * (100 + objOverheadBytes))
+		if src.HeapBytes() != wantSrc {
+			t.Errorf("src heap = %d, want %d", src.HeapBytes(), wantSrc)
+		}
+	})
+	s.K.Run()
+}
+
+func TestMemoryProcletOOMBubblesUp(t *testing.T) {
+	s := testSystem(t, cluster.MachineConfig{Cores: 4, MemBytes: 10_000})
+	mp, _ := NewMemoryProcletOn(s, "mem", 0)
+	s.K.Spawn("client", func(p *sim.Proc) {
+		if _, err := NewPtr(p, 0, mp, 1, 50_000); !errors.Is(err, cluster.ErrNoMemory) {
+			t.Errorf("err = %v, want ErrNoMemory", err)
+		}
+	})
+	s.K.Run()
+}
+
+func TestNewMemoryProcletPlacement(t *testing.T) {
+	// Scheduler places memory proclets on the machine with most free RAM.
+	s := testSystem(t,
+		cluster.MachineConfig{Cores: 4, MemBytes: 1 << 20},
+		cluster.MachineConfig{Cores: 4, MemBytes: 1 << 30},
+	)
+	mp, err := s.NewMemoryProclet("mem", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Location() != 1 {
+		t.Errorf("placed on %d, want 1 (most free memory)", mp.Location())
+	}
+}
+
+func TestMemoryProcletDestroy(t *testing.T) {
+	s := testSystem(t)
+	mp, _ := NewMemoryProcletOn(s, "mem", 0)
+	s.K.Spawn("client", func(p *sim.Proc) {
+		if _, err := NewPtr(p, 0, mp, 1, 100); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s.K.Run()
+	if err := mp.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if s.Cluster.Machine(0).MemUsed() != 0 {
+		t.Errorf("memory leaked: %d", s.Cluster.Machine(0).MemUsed())
+	}
+	if _, ok := s.Sched.info[mp.ID()]; ok {
+		t.Error("proclet still registered with scheduler")
+	}
+}
+
+func TestClientInvoke(t *testing.T) {
+	s := testSystem(t)
+	mp, _ := NewMemoryProcletOn(s, "mem", 1)
+	cl := s.Client(0)
+	if cl.Machine() != 0 {
+		t.Errorf("Machine = %d", cl.Machine())
+	}
+	s.K.Spawn("driver", func(p *sim.Proc) {
+		ptr, err := NewPtr(p, 1, mp, 5, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Invoke(p, mp.ID(), "mem.get", proclet.Msg{Payload: ptr.obj, Bytes: 8})
+		if err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+		if res.Payload != 5 {
+			t.Errorf("payload = %v, want 5", res.Payload)
+		}
+	})
+	s.K.Run()
+}

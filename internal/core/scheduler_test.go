@@ -1,0 +1,292 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/proclet"
+	"repro/internal/sim"
+)
+
+func TestPlaceComputePrefersLeastLoaded(t *testing.T) {
+	s := testSystem(t)
+	// Load machine 0 with a busy compute proclet.
+	cp, _ := NewComputeProcletOn(s, "busy", 0, 4)
+	for i := 0; i < 8; i++ {
+		cp.Run(func(tc *TaskCtx) { tc.Compute(time.Second) })
+	}
+	s.K.RunUntil(sim.Millisecond) // let workers start
+	m, err := s.Sched.PlaceCompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Errorf("PlaceCompute = %d, want 1", m)
+	}
+}
+
+func TestPlaceComputeSkipsReservedMachines(t *testing.T) {
+	s := testSystem(t)
+	s.Cluster.Machine(0).SetReserved(8)
+	m, err := s.Sched.PlaceCompute()
+	if err != nil || m != 1 {
+		t.Errorf("PlaceCompute = %d, %v, want 1", m, err)
+	}
+	s.Cluster.Machine(1).SetReserved(8)
+	if _, err := s.Sched.PlaceCompute(); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestPlaceComputeIdleRequiresSpareCores(t *testing.T) {
+	s := testSystem(t, cluster.MachineConfig{Cores: 1, MemBytes: 1 << 30})
+	cp, _ := NewComputeProcletOn(s, "busy", 0, 1)
+	cp.Run(func(tc *TaskCtx) { tc.Compute(time.Second) })
+	s.K.RunUntil(sim.Millisecond)
+	if _, err := s.Sched.PlaceComputeIdle(); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("err = %v, want ErrNoCapacity (core already claimed)", err)
+	}
+}
+
+func TestPlaceMemoryRequiresRoom(t *testing.T) {
+	s := testSystem(t,
+		cluster.MachineConfig{Cores: 1, MemBytes: 1000},
+		cluster.MachineConfig{Cores: 1, MemBytes: 2000},
+	)
+	m, err := s.Sched.PlaceMemory(1500)
+	if err != nil || m != 1 {
+		t.Errorf("PlaceMemory = %d, %v, want 1", m, err)
+	}
+	if _, err := s.Sched.PlaceMemory(5000); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+// TestReactorEvacuatesOnReservation is a miniature of Figure 1: when a
+// high-priority app grabs every core on machine 0, the fast reactor
+// must move the filler's compute proclets to machine 1 within a few
+// milliseconds.
+func TestReactorEvacuatesOnReservation(t *testing.T) {
+	s := testSystem(t)
+	s.Start()
+	pl, _ := s.NewPool("filler", 1, 4, 1, 0)
+	// Keep workers permanently busy with short tasks.
+	var feed func(cp *ComputeProclet)
+	feed = func(cp *ComputeProclet) {
+		cp.Run(func(tc *TaskCtx) {
+			tc.Compute(100 * time.Microsecond)
+			feed(tc.ComputeProclet())
+		})
+	}
+	for _, m := range pl.Members() {
+		feed(m)
+		feed(m)
+	}
+	// Let everything settle on machine 0/1 (placement spreads 2/2).
+	s.K.RunUntil(5 * sim.Millisecond)
+	// Reserve all of machine 0 at t=5ms.
+	s.Cluster.Machine(0).SetReserved(8)
+	s.K.RunUntil(15 * sim.Millisecond)
+	for _, cp := range pl.Members() {
+		if cp.Location() != 1 {
+			t.Errorf("member %s still on machine %d", cp.Proclet().Name(), cp.Location())
+		}
+	}
+	if s.Sched.Evacuations.Value() == 0 {
+		t.Error("no evacuations recorded")
+	}
+	// And they must have moved quickly: all migrations done within a
+	// couple of reactor periods + sub-ms migrations.
+	migs := s.Runtime.MigrationLatency
+	if migs.Max() > 0.001 {
+		t.Errorf("max migration latency = %vs, want < 1ms", migs.Max())
+	}
+}
+
+func TestReactorLeavesBalancedClusterAlone(t *testing.T) {
+	s := testSystem(t)
+	s.Start()
+	pl, _ := s.NewPool("calm", 1, 2, 1, 0)
+	for i := 0; i < 2; i++ {
+		pl.Run(func(tc *TaskCtx) { tc.Compute(50 * time.Millisecond) })
+	}
+	s.K.RunUntil(60 * sim.Millisecond)
+	if s.Sched.Evacuations.Value() != 0 {
+		t.Errorf("Evacuations = %d on a balanced cluster", s.Sched.Evacuations.Value())
+	}
+}
+
+func TestReactMemEvacuatesUnderPressure(t *testing.T) {
+	s := testSystem(t,
+		cluster.MachineConfig{Cores: 4, MemBytes: 10 << 20},
+		cluster.MachineConfig{Cores: 4, MemBytes: 100 << 20},
+	)
+	s.Start()
+	mp, _ := NewMemoryProcletOn(s, "shard", 0)
+	s.K.Spawn("filler", func(p *sim.Proc) {
+		// Fill machine 0 past the high-water mark (92% of 10 MiB).
+		var ids []uint64
+		var vals []any
+		var sizes []int64
+		for i := 0; i < 95; i++ {
+			ids = append(ids, uint64(i+1))
+			vals = append(vals, i)
+			sizes = append(sizes, 100<<10)
+		}
+		if err := mp.PutBatch(p, 0, ids, vals, sizes); err != nil {
+			t.Errorf("PutBatch: %v", err)
+		}
+	})
+	s.K.RunUntil(20 * sim.Millisecond)
+	if mp.Location() != 1 {
+		t.Errorf("memory proclet still on machine %d, want evacuated to 1", mp.Location())
+	}
+	if s.Sched.MemEvictions.Value() == 0 {
+		t.Error("no memory evictions recorded")
+	}
+}
+
+func TestFreeUpMemory(t *testing.T) {
+	s := testSystem(t,
+		cluster.MachineConfig{Cores: 4, MemBytes: 10 << 20},
+		cluster.MachineConfig{Cores: 4, MemBytes: 100 << 20},
+	)
+	mp, _ := NewMemoryProcletOn(s, "shard", 0)
+	s.K.Spawn("driver", func(p *sim.Proc) {
+		ids, vals, sizes := []uint64{1}, []any{0}, []int64{8 << 20}
+		if err := mp.PutBatch(p, 0, ids, vals, sizes); err != nil {
+			t.Fatalf("PutBatch: %v", err)
+		}
+		// Machine 0 now holds ~8 MiB of 10 MiB; ask for 5 MiB free.
+		if !s.Sched.FreeUpMemory(p, 0, 5<<20) {
+			t.Error("FreeUpMemory failed")
+		}
+		if s.Cluster.Machine(0).MemFree() < 5<<20 {
+			t.Errorf("machine 0 free = %d, want >= 5MiB", s.Cluster.Machine(0).MemFree())
+		}
+	})
+	s.K.Run()
+}
+
+func TestGlobalRebalanceSmoothsLoad(t *testing.T) {
+	// Machine 0 overloaded but below the fast-path panic threshold
+	// cannot happen with demand>avail*1.25; instead pin demand between
+	// 1.0 and 1.25 of available cores so only the global loop acts.
+	s := testSystem(t,
+		cluster.MachineConfig{Cores: 4, MemBytes: 1 << 30},
+		cluster.MachineConfig{Cores: 4, MemBytes: 1 << 30},
+	)
+	s.Start()
+	// 4 single-worker proclets, all forced onto machine 0: demand 4.8
+	// would trip the fast path; use demand 4 (load 1.0 exactly is not
+	// above high water 1.25 * 4 = 5, nor above avail). Load gap vs
+	// machine 1 (0) is 1.0 > 0.5 but hiLoad <= 1 blocks rebalance; so
+	// use 5 proclets => load 1.25, still under the fast path's 1.25
+	// threshold test (demand 5 <= 4*1.25 = 5), but rebalance moves one.
+	var keep func(cp *ComputeProclet)
+	keep = func(cp *ComputeProclet) {
+		cp.Run(func(tc *TaskCtx) {
+			tc.Compute(500 * time.Microsecond)
+			keep(tc.ComputeProclet())
+		})
+	}
+	for i := 0; i < 5; i++ {
+		cp, err := NewComputeProcletOn(s, "w", 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep(cp)
+	}
+	s.K.RunUntil(sim.Time(200 * time.Millisecond))
+	if s.Sched.Rebalances.Value() == 0 {
+		t.Error("global rebalancer never acted")
+	}
+	onM1 := 0
+	for _, pi := range s.Sched.info {
+		if pi.kind == KindCompute && pi.pr.Location() == 1 {
+			onM1++
+		}
+	}
+	if onM1 == 0 {
+		t.Error("no compute proclet moved to machine 1")
+	}
+}
+
+func TestAffinityColocation(t *testing.T) {
+	s := testSystem(t)
+	cfg := s.Config()
+	s.Start()
+	// A compute proclet on machine 0 hammers a memory proclet on
+	// machine 1 with large transfers; the global loop should colocate.
+	mp, _ := NewMemoryProcletOn(s, "data", 1)
+	s.Sched.Pin(mp.ID())
+	cp, _ := NewComputeProcletOn(s, "reader", 0, 1)
+	var ptr Ptr[int]
+	s.K.Spawn("setup", func(p *sim.Proc) {
+		var err error
+		ptr, err = NewPtr(p, 1, mp, 42, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var loop func()
+		loop = func() {
+			cp.Run(func(tc *TaskCtx) {
+				// Proclet-to-proclet call so affinity is attributed.
+				if _, err := cp.Proclet().Call(tc.Proc(), mp.ID(), "mem.get",
+					proclet.Msg{Payload: ptr.obj, Bytes: 8}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				tc.Compute(100 * time.Microsecond)
+				loop()
+			})
+		}
+		loop()
+	})
+	s.K.RunUntil(sim.Time(cfg.GlobalPeriod*4 + 10*sim.Millisecond.Duration()))
+	if cp.Location() != 1 {
+		t.Errorf("reader on machine %d, want colocated on 1", cp.Location())
+	}
+	if s.Sched.AffinityMoves.Value() == 0 {
+		t.Error("no affinity moves recorded")
+	}
+}
+
+func TestAdaptiveLoopRuns(t *testing.T) {
+	s := testSystem(t)
+	count := 0
+	s.Sched.RegisterAdaptive(adaptiveFunc(func(p *sim.Proc) { count++ }))
+	s.Start()
+	s.K.RunUntil(sim.Time(20 * time.Millisecond))
+	// AdaptPeriod is 2ms: expect ~10 invocations.
+	if count < 8 || count > 12 {
+		t.Errorf("adaptive ran %d times in 20ms, want ~10", count)
+	}
+}
+
+type adaptiveFunc func(p *sim.Proc)
+
+func (f adaptiveFunc) Adapt(p *sim.Proc) { f(p) }
+
+func TestPinPreventsMigration(t *testing.T) {
+	s := testSystem(t)
+	s.Start()
+	cp, _ := NewComputeProcletOn(s, "pinned", 0, 1)
+	s.Sched.Pin(cp.ID())
+	var keep func()
+	keep = func() {
+		cp.Run(func(tc *TaskCtx) {
+			tc.Compute(100 * time.Microsecond)
+			keep()
+		})
+	}
+	keep()
+	s.K.RunUntil(2 * sim.Millisecond)
+	s.Cluster.Machine(0).SetReserved(8)
+	s.K.RunUntil(20 * sim.Millisecond)
+	if cp.Location() != 0 {
+		t.Errorf("pinned proclet moved to %d", cp.Location())
+	}
+}

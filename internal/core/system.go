@@ -1,0 +1,161 @@
+// Package core implements Quicksand, the paper's primary contribution:
+// resource proclets — proclets specialized to consume a single resource
+// type — plus the adaptive mechanisms that keep them fungible: a
+// two-level scheduler (fast per-machine reactors, slow global
+// rebalancing with affinity), adaptive splitting and merging to
+// preserve migration-friendly granularity, and distributed pointers
+// connecting compute to memory.
+//
+// Layering: core sits on the Nu proclet substrate (internal/proclet),
+// which sits on simulated machines (internal/cluster) and network
+// (internal/simnet), all driven by the deterministic virtual-time
+// kernel (internal/sim). Higher-level abstractions — sharded data
+// structures (internal/sharded), the distributed thread pool
+// (internal/dtp), and flat storage (internal/storage) — build on core.
+package core
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/proclet"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Config tunes the Quicksand control plane.
+type Config struct {
+	// Seed drives all randomized decisions deterministically.
+	Seed int64
+	// Net configures the cluster fabric.
+	Net simnet.Config
+	// Proclet configures the Nu substrate's cost model.
+	Proclet proclet.Config
+
+	// LocalPeriod is the fast per-machine reactor's sampling period
+	// (pressure detection and evacuation).
+	LocalPeriod time.Duration
+	// GlobalPeriod is the slow global rebalancer's period (long-term
+	// placement and affinity-driven colocation).
+	GlobalPeriod time.Duration
+	// AdaptPeriod is how often registered adaptives (split/merge
+	// policies) are evaluated.
+	AdaptPeriod time.Duration
+
+	// CPUHighWater is the pressure (runnable tasks per available core)
+	// above which a machine evacuates compute proclets.
+	CPUHighWater float64
+	// CPULowWater is the pressure below which a machine may receive
+	// evacuated compute proclets.
+	CPULowWater float64
+	// MemHighWater is the memory utilization fraction above which a
+	// machine evacuates memory proclets.
+	MemHighWater float64
+
+	// TargetMigrationLatency bounds how long migrating any single
+	// memory proclet may take; the split threshold MaxShardBytes is
+	// derived from it and the NIC bandwidth (§3.3).
+	TargetMigrationLatency time.Duration
+
+	// AffinityBytes is the communication volume between two proclets,
+	// per global period, above which the rebalancer tries to colocate
+	// them.
+	AffinityBytes int64
+
+	// ComputeProcletHeap is the accounted heap size of a compute
+	// proclet (task queue and scratch space); small so they migrate in
+	// well under a millisecond.
+	ComputeProcletHeap int64
+
+	// DisableFastPath turns off the per-machine reactors (two-level
+	// scheduling ablation: global-only).
+	DisableFastPath bool
+	// DisableSlowPath turns off the global rebalancer and affinity
+	// loop (two-level scheduling ablation: local-only).
+	DisableSlowPath bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper
+// reproduction experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   1,
+		Net:                    simnet.DefaultConfig(),
+		Proclet:                proclet.DefaultConfig(),
+		LocalPeriod:            200 * time.Microsecond,
+		GlobalPeriod:           50 * time.Millisecond,
+		AdaptPeriod:            2 * time.Millisecond,
+		CPUHighWater:           1.25,
+		CPULowWater:            0.9,
+		MemHighWater:           0.92,
+		TargetMigrationLatency: 5 * time.Millisecond,
+		AffinityBytes:          1 << 20,
+		ComputeProcletHeap:     64 << 10,
+	}
+}
+
+// MaxShardBytes is the memory-proclet size cap implied by the target
+// migration latency at the configured NIC bandwidth.
+func (c Config) MaxShardBytes() int64 {
+	return int64(float64(c.Net.Bandwidth) * c.TargetMigrationLatency.Seconds())
+}
+
+// System is a running Quicksand deployment: the cluster, the proclet
+// runtime, and the scheduler, all on one simulation kernel.
+type System struct {
+	K       *sim.Kernel
+	Cluster *cluster.Cluster
+	Runtime *proclet.Runtime
+	Sched   *Scheduler
+	Trace   *trace.Log
+
+	cfg Config
+}
+
+// NewSystem builds a Quicksand system over machines with the given
+// shapes. The scheduler is created but idle until Start.
+func NewSystem(cfg Config, machines []cluster.MachineConfig) *System {
+	k := sim.NewKernel(cfg.Seed)
+	cl := cluster.New(k, cfg.Net)
+	for _, mc := range machines {
+		cl.AddMachine(mc)
+	}
+	tl := trace.New()
+	s := &System{
+		K:       k,
+		Cluster: cl,
+		Runtime: proclet.NewRuntime(cl, cfg.Proclet, tl),
+		Trace:   tl,
+		cfg:     cfg,
+	}
+	s.Sched = newScheduler(s)
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Start launches the scheduler's control loops. Call once, before or
+// during the simulation run.
+func (s *System) Start() { s.Sched.start() }
+
+// Client returns an external caller bound to a machine (for example an
+// ingest frontend or an experiment driver colocated with machine m).
+func (s *System) Client(m cluster.MachineID) *Client {
+	return &Client{sys: s, machine: m}
+}
+
+// Client is an external (non-proclet) invoker pinned to a machine.
+type Client struct {
+	sys     *System
+	machine cluster.MachineID
+}
+
+// Machine returns the machine the client runs on.
+func (c *Client) Machine() cluster.MachineID { return c.machine }
+
+// Invoke calls a proclet method from this client's machine.
+func (c *Client) Invoke(p *sim.Proc, target proclet.ID, method string, arg proclet.Msg) (proclet.Msg, error) {
+	return c.sys.Runtime.Invoke(p, c.machine, 0, target, method, arg)
+}

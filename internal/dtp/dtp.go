@@ -1,0 +1,272 @@
+// Package dtp provides Quicksand's distributed thread pool (§3.2): a
+// compute abstraction whose threads are sharded across compute
+// proclets, with familiar parallel APIs (ForEach, Map, Reduce) that
+// compose memory and compute proclets — for example, mapping a
+// function over a sharded vector's elements with iterator prefetch.
+//
+// The pool is elastic: a RateMatcher policy splits producer compute
+// proclets when the downstream consumer is starving and merges them
+// when production outruns consumption (§3.3, §4).
+package dtp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sharded"
+	"repro/internal/sim"
+)
+
+// ThreadPool is a distributed thread pool over an elastic group of
+// compute proclets.
+type ThreadPool struct {
+	sys  *core.System
+	pool *core.Pool
+}
+
+// New creates a thread pool with `initial` compute proclets of
+// workersPer threads each; the pool may adapt between minSize and
+// maxSize members (maxSize <= 0 means unbounded).
+func New(sys *core.System, name string, workersPer, initial, minSize, maxSize int) (*ThreadPool, error) {
+	pool, err := sys.NewPool(name, workersPer, initial, minSize, maxSize)
+	if err != nil {
+		return nil, err
+	}
+	return &ThreadPool{sys: sys, pool: pool}, nil
+}
+
+// Pool exposes the underlying elastic pool.
+func (tp *ThreadPool) Pool() *core.Pool { return tp.pool }
+
+// Size returns the current compute proclet count.
+func (tp *ThreadPool) Size() int { return tp.pool.Size() }
+
+// Parallelism returns total worker threads across members.
+func (tp *ThreadPool) Parallelism() int {
+	n := 0
+	for _, m := range tp.pool.Members() {
+		n += m.Workers()
+	}
+	return n
+}
+
+// Run submits one task.
+func (tp *ThreadPool) Run(fn core.TaskFn) { tp.pool.Run(fn) }
+
+// WaitIdle blocks until all members are idle.
+func (tp *ThreadPool) WaitIdle(p *sim.Proc) { tp.pool.WaitIdle(p) }
+
+// ForEachVec applies fn to every element of a sharded vector, fanning
+// out over the pool in chunks of `chunk` elements. Each chunk iterates
+// with prefetch (batch size = chunk, capped at 64), so remote shards
+// stream in behind the computation. Blocks until all elements are
+// processed; the first error (if any) is returned.
+func ForEachVec[T any](p *sim.Proc, tp *ThreadPool, v *sharded.Vector[T], chunk int,
+	fn func(tc *core.TaskCtx, idx uint64, val T)) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	batch := chunk
+	if batch > 64 {
+		batch = 64
+	}
+	n := v.Len()
+	var wg sim.WaitGroup
+	var firstErr error
+	for lo := uint64(0); lo < n; lo += uint64(chunk) {
+		lo := lo
+		hi := lo + uint64(chunk)
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		tp.Run(func(tc *core.TaskCtx) {
+			defer wg.Done()
+			it := v.IterRange(lo, hi, batch)
+			for i := lo; i < hi; i++ {
+				val, ok, err := it.Next(tc.Proc(), tc.Machine())
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				if !ok {
+					return
+				}
+				fn(tc, i, val)
+			}
+		})
+	}
+	wg.Wait(p)
+	return firstErr
+}
+
+// MapVec applies fn to every element and collects the results in
+// element order.
+func MapVec[T, R any](p *sim.Proc, tp *ThreadPool, v *sharded.Vector[T], chunk int,
+	fn func(tc *core.TaskCtx, idx uint64, val T) R) ([]R, error) {
+	out := make([]R, v.Len())
+	err := ForEachVec(p, tp, v, chunk, func(tc *core.TaskCtx, idx uint64, val T) {
+		out[idx] = fn(tc, idx, val)
+	})
+	return out, err
+}
+
+// FilterVec returns, in element order, the elements for which pred
+// holds, evaluated in parallel across the pool.
+func FilterVec[T any](p *sim.Proc, tp *ThreadPool, v *sharded.Vector[T], chunk int,
+	pred func(tc *core.TaskCtx, idx uint64, val T) bool) ([]T, error) {
+	keep := make([]bool, v.Len())
+	vals := make([]T, v.Len())
+	err := ForEachVec(p, tp, v, chunk, func(tc *core.TaskCtx, idx uint64, val T) {
+		if pred(tc, idx, val) {
+			keep[idx] = true
+			vals[idx] = val
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := vals[:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, vals[i])
+		}
+	}
+	return out, nil
+}
+
+// ReduceVec maps every element through fn and folds the results with
+// the associative combine function, starting from zero.
+func ReduceVec[T, R any](p *sim.Proc, tp *ThreadPool, v *sharded.Vector[T], chunk int,
+	fn func(tc *core.TaskCtx, val T) R, combine func(R, R) R, zero R) (R, error) {
+	partials, err := MapVec(p, tp, v, chunk, func(tc *core.TaskCtx, _ uint64, val T) R {
+		return fn(tc, val)
+	})
+	acc := zero
+	for _, r := range partials {
+		acc = combine(acc, r)
+	}
+	return acc, err
+}
+
+// TargetScaler drives a pool toward an externally computed size — the
+// paper's Figure 3 controller, which splits or merges preprocessing
+// compute proclets "after learning of a change in GPU resources": the
+// target is derived from the consumer's current capacity (for example
+// activeGPUs x preprocessCost/gpuCost). Register with the scheduler's
+// adaptation loop.
+type TargetScaler struct {
+	tp *ThreadPool
+	// Target computes the desired pool size.
+	Target func() int
+	// MaxSteps bounds grow/shrink actions per tick (0 means 1).
+	MaxSteps int
+
+	// Grows and Shrinks count actions taken.
+	Grows   int64
+	Shrinks int64
+}
+
+// NewTargetScaler wires a target scaler for tp.
+func NewTargetScaler(tp *ThreadPool, target func() int) *TargetScaler {
+	return &TargetScaler{tp: tp, Target: target, MaxSteps: 2}
+}
+
+// Adapt implements core.Adaptive.
+func (ts *TargetScaler) Adapt(p *sim.Proc) {
+	steps := ts.MaxSteps
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i < steps; i++ {
+		want := ts.Target()
+		cur := ts.tp.Size()
+		switch {
+		case cur < want:
+			grew, _ := ts.tp.pool.Grow(p)
+			if !grew {
+				return
+			}
+			ts.Grows++
+		case cur > want:
+			shrank, _ := ts.tp.pool.Shrink(p)
+			if !shrank {
+				return
+			}
+			ts.Shrinks++
+		default:
+			return
+		}
+	}
+}
+
+// RateMatcher adapts a producer pool to its consumer's pace using the
+// downstream queue depth as the signal: a starving consumer (shallow
+// queue) grows the producer side; a deep backlog shrinks it. It needs
+// no knowledge of the consumer's capacity, at the cost of slower
+// convergence than TargetScaler when rates are closely matched.
+// Register with the scheduler's adaptation loop.
+type RateMatcher struct {
+	tp *ThreadPool
+	// Depth reports the downstream buffer occupancy.
+	Depth func() uint64
+	// LowWater: grow producers when depth falls below this.
+	LowWater uint64
+	// HighWater: shrink producers when depth exceeds this.
+	HighWater uint64
+	// Cooldown is the minimum time between actions in the same
+	// direction (prevents thrash). Zero allows acting every tick.
+	Cooldown time.Duration
+	// MaxSteps bounds how many grow/shrink actions one tick may take
+	// (0 means 1). Larger steps converge faster after big consumer
+	// swings at the cost of occasional overshoot.
+	MaxSteps int
+
+	lastGrow   sim.Time
+	lastShrink sim.Time
+	// Grows and Shrinks count actions taken.
+	Grows   int64
+	Shrinks int64
+}
+
+// NewRateMatcher wires a rate matcher for tp driven by depth.
+func NewRateMatcher(tp *ThreadPool, depth func() uint64, low, high uint64, cooldown time.Duration) *RateMatcher {
+	return &RateMatcher{tp: tp, Depth: depth, LowWater: low, HighWater: high, Cooldown: cooldown}
+}
+
+// Adapt implements core.Adaptive.
+func (rm *RateMatcher) Adapt(p *sim.Proc) {
+	steps := rm.MaxSteps
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i < steps; i++ {
+		now := p.Now()
+		switch d := rm.Depth(); {
+		case d < rm.LowWater:
+			if rm.lastGrow != 0 && now.Sub(rm.lastGrow) < rm.Cooldown {
+				return
+			}
+			grew, _ := rm.tp.pool.Grow(p)
+			if !grew {
+				return
+			}
+			rm.Grows++
+			rm.lastGrow = now
+		case d > rm.HighWater:
+			if rm.lastShrink != 0 && now.Sub(rm.lastShrink) < rm.Cooldown {
+				return
+			}
+			shrank, _ := rm.tp.pool.Shrink(p)
+			if !shrank {
+				return
+			}
+			rm.Shrinks++
+			rm.lastShrink = now
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListAndTitles(t *testing.T) {
+	ids := List()
+	if len(ids) != 15 {
+		t.Fatalf("List() = %v, want 15 experiments", ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	if _, err := Run("nope", TestScale); err == nil {
+		t.Error("Run(unknown) succeeded")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	res, err := Run("fig1", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Values["quicksand.goodput_pct"]
+	pinned := res.Values["pinned.goodput_pct"]
+	coarse := res.Values["coarse.goodput_pct"]
+	// Paper shape: Quicksand ~full utilization, pinned ~half, coarse no
+	// better than pinned.
+	if qs < 80 {
+		t.Errorf("quicksand goodput = %.1f%%, want >= 80%%", qs)
+	}
+	if pinned > 60 || pinned < 35 {
+		t.Errorf("pinned goodput = %.1f%%, want ~50%%", pinned)
+	}
+	if qs < 1.5*pinned {
+		t.Errorf("quicksand (%.1f%%) should be ~2x pinned (%.1f%%)", qs, pinned)
+	}
+	if coarse > qs-15 {
+		t.Errorf("coarse goodput = %.1f%% too close to quicksand %.1f%%", coarse, qs)
+	}
+	// Migration latency must be sub-millisecond for the small filler
+	// proclets.
+	if mig := res.Values["quicksand.mig_mean_ms"]; mig <= 0 || mig >= 1 {
+		t.Errorf("quicksand mean migration = %.3f ms, want (0, 1)", mig)
+	}
+	if res.Values["quicksand.migrations"] == 0 {
+		t.Error("quicksand performed no migrations")
+	}
+	// Reaction within a couple of milliseconds of each flip.
+	if react := res.Values["quicksand.react_ms"]; react > 3 {
+		t.Errorf("quicksand reaction = %.2f ms, want <= 3 ms", react)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Run("fig2", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Values["baseline.seconds"]
+	if base <= 0 {
+		t.Fatal("baseline did not run")
+	}
+	for _, cfg := range []string{"cpu-unbalanced", "mem-unbalanced", "both-unbalanced"} {
+		ratio := res.Values[cfg+".ratio"]
+		// Paper: within ~2% of baseline; allow 15% in the small-scale
+		// simulation (fixed overheads weigh more on a 1-second run).
+		if ratio > 1.15 {
+			t.Errorf("%s ratio = %.3f, want <= 1.15 (near-parity)", cfg, ratio)
+		}
+		if ratio < 0.85 {
+			t.Errorf("%s ratio = %.3f, suspiciously fast", cfg, ratio)
+		}
+	}
+	// The static even split must OOM on the hardest (both-unbalanced)
+	// configuration.
+	if res.Values["static_even.oom"] != 1 {
+		t.Error("static even-split did not OOM on both-unbalanced")
+	}
+	// The feasible static variant must strand CPU: clearly slower than
+	// Quicksand's baseline-parity result.
+	if s := res.Values["static_bymem.ratio"]; s != 0 && s < 1.5 {
+		t.Errorf("static by-memory ratio = %.2f, want >= 1.5 (stranded CPU)", s)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res, err := Run("fig3", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["splits"] == 0 || res.Values["merges"] == 0 {
+		t.Errorf("splits=%v merges=%v, want both > 0",
+			res.Values["splits"], res.Values["merges"])
+	}
+	// Paper: new equilibrium in 10-15 ms. Allow up to 60 ms here: the
+	// settle detector is conservative (requires a 20 ms hold).
+	if mean := res.Values["react_mean_ms"]; mean <= 0 || mean > 60 {
+		t.Errorf("react_mean_ms = %.1f, want (0, 60]", mean)
+	}
+	if util := res.Values["gpu_util_pct"]; util < 80 {
+		t.Errorf("gpu utilization = %.1f%%, want >= 80%%", util)
+	}
+}
+
+func TestAblMigrationShape(t *testing.T) {
+	res, err := Run("abl-migration", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := res.Values["latency_ms.65536"]
+	mid := res.Values["latency_ms.1048576"]
+	big := res.Values["latency_ms.10485760"]
+	if small <= 0 || small >= 1 {
+		t.Errorf("64KiB migration = %.3f ms, want sub-millisecond", small)
+	}
+	if big < 1 || big > 5 {
+		t.Errorf("10MiB migration = %.3f ms, want 'a few ms' (1-5)", big)
+	}
+	if !(small < mid && mid < big) {
+		t.Errorf("latencies not increasing: %v %v %v", small, mid, big)
+	}
+}
+
+func TestAblSplitShape(t *testing.T) {
+	res, err := Run("abl-split", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := res.Values["split_ms.1048576"]
+	s8 := res.Values["split_ms.8388608"]
+	if s1 <= 0 || s8 <= 0 {
+		t.Fatalf("splits not measured: %v %v", s1, s8)
+	}
+	if s8 < 2*s1 {
+		t.Errorf("split cost should scale with cap: 1MiB=%.3f 8MiB=%.3f", s1, s8)
+	}
+}
+
+func TestAblPrefetchShape(t *testing.T) {
+	res, err := Run("abl-prefetch", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := res.Values["speedup"]; sp < 1.3 {
+		t.Errorf("prefetch speedup = %.2fx, want >= 1.3x", sp)
+	}
+	// With prefetch the scan should approach the max(wire, compute)
+	// bound, i.e., well under 2x ideal.
+	if res.Values["prefetch_ms"] > 2*res.Values["ideal_ms"] {
+		t.Errorf("prefetch %vms vs ideal %vms: overlap not effective",
+			res.Values["prefetch_ms"], res.Values["ideal_ms"])
+	}
+}
+
+func TestAblSchedShape(t *testing.T) {
+	res, err := Run("abl-sched", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := res.Values["two-level.goodput_pct"]
+	local := res.Values["local-only.goodput_pct"]
+	global := res.Values["global-only.goodput_pct"]
+	if two < 80 || local < 80 {
+		t.Errorf("two-level=%.1f local-only=%.1f, both should harvest windows", two, local)
+	}
+	if global > two-15 {
+		t.Errorf("global-only=%.1f too close to two-level=%.1f; 50ms period must miss 10ms windows", global, two)
+	}
+}
+
+func TestAblLocalityShape(t *testing.T) {
+	res, err := Run("abl-locality", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["affinity_moves"] == 0 {
+		t.Error("no affinity moves happened")
+	}
+	if sp := res.Values["speedup"]; sp < 1.5 {
+		t.Errorf("colocation speedup = %.2fx, want >= 1.5x", sp)
+	}
+}
+
+func TestResultPrint(t *testing.T) {
+	res, err := Run("abl-migration", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "abl-migration") || !strings.Contains(out, "latency") {
+		t.Errorf("Print output missing content:\n%s", out)
+	}
+}
+
+func TestExtGPUShape(t *testing.T) {
+	res, err := Run("ext-gpu", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Values["gpu-proclets.ideal_pct"]
+	restart := res.Values["restart.ideal_pct"]
+	if qs < 90 {
+		t.Errorf("gpu-proclets = %.1f%% of ideal, want >= 90%%", qs)
+	}
+	if restart > qs-15 {
+		t.Errorf("restart = %.1f%% too close to gpu-proclets %.1f%%", restart, qs)
+	}
+	if res.Values["gpu-proclets.evacs"] == 0 {
+		t.Error("no evacuations recorded")
+	}
+	if res.Values["restart.restarts"] == 0 {
+		t.Error("baseline performed no restarts")
+	}
+	// Evacuation = device download + wire + upload: tens of ms for a
+	// 512 MiB model, far below the 1 s restart cost.
+	if ms := res.Values["evac_mean_ms"]; ms <= 0 || ms > 200 {
+		t.Errorf("evac_mean_ms = %.1f, want (0, 200]", ms)
+	}
+}
+
+func TestAblGranularityShape(t *testing.T) {
+	res, err := Run("abl-granularity", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := res.Values["goodput_pct.1"]
+	g8 := res.Values["goodput_pct.8"]
+	if g8 < g1+15 {
+		t.Errorf("granular goodput %.1f%% should beat monolithic %.1f%% clearly", g8, g1)
+	}
+	if m1, m8 := res.Values["mig_mean_ms.1"], res.Values["mig_mean_ms.8"]; m1 < 2*m8 {
+		t.Errorf("monolithic migration %.2fms should dwarf granular %.2fms", m1, m8)
+	}
+}
+
+func TestAblReactorShape(t *testing.T) {
+	res, err := Run("abl-reactor", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := res.Values["goodput_pct.200"]
+	slow := res.Values["goodput_pct.20000"]
+	if fast < 80 {
+		t.Errorf("200us reactor goodput = %.1f%%, want >= 80%%", fast)
+	}
+	if slow > fast-20 {
+		t.Errorf("20ms reactor %.1f%% should be far below 200us %.1f%%", slow, fast)
+	}
+}
+
+func TestExtHarvestShape(t *testing.T) {
+	res, err := Run("ext-harvest", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.Values["quicksand.goodput_pct"]
+	static := res.Values["static.goodput_pct"]
+	if qs < 80 {
+		t.Errorf("quicksand fleet goodput = %.1f%%, want >= 80%%", qs)
+	}
+	if static > 45 {
+		t.Errorf("static goodput = %.1f%%, want ~33%%", static)
+	}
+	if qs < 2*static {
+		t.Errorf("quicksand (%.1f%%) should be >= 2x static (%.1f%%)", qs, static)
+	}
+}
+
+func TestExtMemHarvestShape(t *testing.T) {
+	res, err := Run("ext-memharvest", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["read_errs"] != 0 {
+		t.Errorf("read_errs = %v, want 0 (no data loss under harvesting)", res.Values["read_errs"])
+	}
+	if res.Values["evictions"] == 0 {
+		t.Error("no shard evacuations: the tenant never created pressure")
+	}
+	if res.Values["reads"] < 100 {
+		t.Errorf("reads = %v, too few to be meaningful", res.Values["reads"])
+	}
+}
+
+// TestExperimentDeterminism: the flagship property of the simulation —
+// running the same experiment twice yields bit-identical results.
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"fig1", "fig3", "abl-migration"} {
+		r1, err := Run(id, TestScale)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		r2, err := Run(id, TestScale)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(r1.Values) != len(r2.Values) {
+			t.Fatalf("%s: value sets differ", id)
+		}
+		for k, v := range r1.Values {
+			if r2.Values[k] != v {
+				t.Errorf("%s: %s = %v vs %v across runs", id, k, v, r2.Values[k])
+			}
+		}
+		for i := range r1.Lines {
+			if r1.Lines[i] != r2.Lines[i] {
+				t.Errorf("%s: line %d differs:\n%s\n%s", id, i, r1.Lines[i], r2.Lines[i])
+			}
+		}
+	}
+}
+
+func TestAblPostcopyShape(t *testing.T) {
+	res, err := Run("abl-postcopy", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postSmall := res.Values["post_blackout_ms.1048576"]
+	postBig := res.Values["post_blackout_ms.67108864"]
+	preBig := res.Values["pre_blackout_ms.67108864"]
+	if postSmall != postBig {
+		t.Errorf("post-copy blackout varies with size: %.3f vs %.3f ms", postSmall, postBig)
+	}
+	if preBig < 10*postBig {
+		t.Errorf("pre-copy 64MiB blackout %.3f ms should dwarf post-copy %.3f ms", preBig, postBig)
+	}
+	if r := res.Values["resident_ms.67108864"]; r <= postBig {
+		t.Errorf("residence %.3f ms should exceed the blackout %.3f ms", r, postBig)
+	}
+}
+
+func TestExtTieringShape(t *testing.T) {
+	res, err := Run("ext-tiering", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRAM := res.Values["inram_ms_per_elem"]
+	tiered := res.Values["tiered_ms_per_elem"]
+	hot := res.Values["hot_ms_per_elem"]
+	if tiered < 5*inRAM {
+		t.Errorf("cold tiered scan %.3f ms/elem should be flash-bound vs RAM %.3f", tiered, inRAM)
+	}
+	if hot > 3*inRAM {
+		t.Errorf("hot working set %.3f ms/elem should be near RAM speed %.3f", hot, inRAM)
+	}
+	if res.Values["tiered_faults"] == 0 {
+		t.Error("cold scan faulted nothing")
+	}
+}
+
+func TestFig1SeriesCSV(t *testing.T) {
+	res, err := Run("fig1", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SeriesTime) == 0 || len(res.Series) != 6 {
+		t.Fatalf("series: %d axes, %d columns, want 6 columns", len(res.SeriesTime), len(res.Series))
+	}
+	var sb strings.Builder
+	res.WriteCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(res.SeriesTime)+1 {
+		t.Errorf("CSV rows = %d, want %d", len(lines), len(res.SeriesTime)+1)
+	}
+	if !strings.HasPrefix(lines[0], "time_ms,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "quicksand_m0_goodput") {
+		t.Errorf("CSV header missing series: %q", lines[0])
+	}
+	// An ablation result produces no CSV.
+	abl, _ := Run("abl-migration", TestScale)
+	var empty strings.Builder
+	abl.WriteCSV(&empty)
+	if empty.Len() != 0 {
+		t.Error("ablation produced CSV output")
+	}
+}

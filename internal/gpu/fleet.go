@@ -1,0 +1,122 @@
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fleet manages a set of GPU proclets against a pool of (possibly
+// spot) GPUs: a watcher detects reclaimed devices and evacuates their
+// proclets to available spares, applying the same fast-reaction
+// philosophy as the CPU/memory reactors.
+type Fleet struct {
+	sys    *core.System
+	name   string
+	procs  []*Proclet
+	period time.Duration
+
+	stopped bool
+
+	// Evacuations counts reclaim-driven migrations; MigrationLatency
+	// records their durations in seconds.
+	Evacuations      metrics.Counter
+	MigrationLatency *metrics.Histogram
+	// Stranded counts watcher passes where a proclet sat on a
+	// reclaimed GPU with nowhere to go.
+	Stranded metrics.Counter
+}
+
+// NewFleet creates a fleet manager. period is the reclaim-detection
+// interval (the fast-path reactor period is a natural choice).
+func NewFleet(sys *core.System, name string, period time.Duration) *Fleet {
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	return &Fleet{
+		sys:              sys,
+		name:             name,
+		period:           period,
+		MigrationLatency: metrics.NewHistogram(name + ".evac_latency"),
+	}
+}
+
+// Add places a new GPU proclet on the best available GPU and tracks it.
+func (f *Fleet) Add(name string, modelBytes int64, stepKernel time.Duration) (*Proclet, error) {
+	g, err := f.PickGPU(nil)
+	if err != nil {
+		return nil, err
+	}
+	gp, err := New(f.sys, name, g, modelBytes, stepKernel)
+	if err != nil {
+		return nil, err
+	}
+	f.procs = append(f.procs, gp)
+	return gp, nil
+}
+
+// Proclets returns the managed proclets.
+func (f *Fleet) Proclets() []*Proclet { return f.procs }
+
+// PickGPU returns the available GPU with the most free device memory,
+// excluding `exclude`. Occupancy (one training proclet per device) is
+// the tiebreak via free memory.
+func (f *Fleet) PickGPU(exclude *cluster.GPU) (*cluster.GPU, error) {
+	var best *cluster.GPU
+	for _, m := range f.sys.Cluster.Machines() {
+		for _, g := range m.GPUs() {
+			if g == exclude || !g.Available() {
+				continue
+			}
+			if best == nil || g.MemFree() > best.MemFree() {
+				best = g
+			}
+		}
+	}
+	if best == nil {
+		return nil, ErrNoSpare
+	}
+	return best, nil
+}
+
+// Start launches the reclaim watcher.
+func (f *Fleet) Start() {
+	f.sys.K.Spawn(fmt.Sprintf("gpu-fleet/%s", f.name), func(p *sim.Proc) {
+		for !f.stopped {
+			p.Sleep(f.period)
+			f.react(p)
+		}
+	})
+}
+
+// Stop ends the watcher at its next tick.
+func (f *Fleet) Stop() { f.stopped = true }
+
+// react evacuates every proclet sitting on a reclaimed GPU.
+func (f *Fleet) react(p *sim.Proc) {
+	for _, gp := range f.procs {
+		if gp.dead || gp.Device().Available() {
+			continue
+		}
+		dst, err := f.PickGPU(gp.Device())
+		if err != nil {
+			f.Stranded.Inc()
+			continue
+		}
+		if dst.MemFree() < gp.ModelBytes() {
+			f.Stranded.Inc()
+			continue
+		}
+		start := p.Now()
+		if err := gp.MigrateTo(p, dst); err != nil {
+			f.Stranded.Inc()
+			continue
+		}
+		f.Evacuations.Inc()
+		f.MigrationLatency.ObserveDuration(p.Now().Sub(start))
+	}
+}

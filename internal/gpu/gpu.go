@@ -1,0 +1,220 @@
+// Package gpu implements GPU resource proclets — the proclet type the
+// paper motivates but had "not yet implemented" (§4), answering §5's
+// question of how to migrate resource proclets across GPUs rapidly.
+//
+// A GPU proclet owns a model replica resident in device memory and
+// exposes a training-step method: upload a batch over the host link,
+// execute a kernel. Migration moves the device state to another GPU —
+// over the host links for a same-machine move, plus the network for a
+// cross-machine move — while new steps block and in-flight steps
+// drain, mirroring the Nu migration protocol at the device level. A
+// Fleet watches for reclaimed (spot) GPUs and evacuates their proclets
+// to spares within a reactor period.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/proclet"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Errors returned by GPU proclet operations.
+var (
+	ErrReclaimed = errors.New("gpu: device reclaimed")
+	ErrNoSpare   = errors.New("gpu: no available GPU with room")
+)
+
+// methodStep is the training-step method on the host-side proclet.
+const methodStep = "gpu.step"
+
+// controlHeap is the host-RAM footprint of a GPU proclet's control
+// state (input pipeline buffers, launch queues).
+const controlHeap = 1 << 20
+
+// Proclet is a GPU resource proclet: model state in device memory plus
+// a host-side control proclet on the device's machine.
+type Proclet struct {
+	sys  *core.System
+	pr   *proclet.Proclet
+	gpu  *cluster.GPU
+	name string
+
+	modelBytes int64
+	stepKernel time.Duration
+
+	migrating bool
+	active    int
+	drained   sim.Cond
+	unblocked sim.Cond
+	dead      bool
+
+	// Steps counts completed training steps.
+	Steps metrics.Counter
+}
+
+// New creates a GPU proclet on device g with modelBytes of device
+// state; each training step costs stepKernel of device time plus the
+// batch upload.
+func New(sys *core.System, name string, g *cluster.GPU, modelBytes int64, stepKernel time.Duration) (*Proclet, error) {
+	if !g.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrReclaimed, g)
+	}
+	if err := g.AllocMem(modelBytes); err != nil {
+		return nil, err
+	}
+	pr, err := sys.Runtime.Spawn(name, g.Machine.ID, controlHeap)
+	if err != nil {
+		g.FreeMem(modelBytes)
+		return nil, err
+	}
+	gp := &Proclet{
+		sys:        sys,
+		pr:         pr,
+		gpu:        g,
+		name:       name,
+		modelBytes: modelBytes,
+		stepKernel: stepKernel,
+	}
+	pr.Data = gp
+	sys.Sched.RegisterProclet(pr, core.KindOther)
+	sys.Sched.Pin(pr.ID()) // device affinity: only the Fleet moves it
+	pr.Handle(methodStep, gp.step)
+	return gp, nil
+}
+
+// step is the gpu.step method body. It must not block on migration
+// completion: the migration protocol drains the control proclet's
+// invocations, so waiting here would deadlock. Instead a migrating
+// proclet rejects the step with ErrMigrating and the public Step
+// wrapper retries from outside the invocation.
+func (gp *Proclet) step(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	if gp.migrating {
+		return proclet.Msg{}, proclet.ErrMigrating
+	}
+	if gp.dead {
+		return proclet.Msg{}, proclet.ErrDead
+	}
+	if !gp.gpu.Available() {
+		return proclet.Msg{}, fmt.Errorf("%w: %s", ErrReclaimed, gp.gpu)
+	}
+	gp.active++
+	batchBytes, _ := arg.Payload.(int64)
+	gp.gpu.Upload(ctx.Proc, batchBytes)
+	gp.gpu.ExecKernel(ctx.Proc, gp.stepKernel)
+	gp.active--
+	if gp.active == 0 {
+		gp.drained.Broadcast()
+	}
+	gp.Steps.Inc()
+	return proclet.Msg{}, nil
+}
+
+// Name returns the proclet's name.
+func (gp *Proclet) Name() string { return gp.name }
+
+// ProcletID returns the host-side proclet's ID.
+func (gp *Proclet) ProcletID() proclet.ID { return gp.pr.ID() }
+
+// Device returns the GPU currently hosting the model.
+func (gp *Proclet) Device() *cluster.GPU { return gp.gpu }
+
+// ModelBytes returns the device-resident state size.
+func (gp *Proclet) ModelBytes() int64 { return gp.modelBytes }
+
+// Step performs one training step from the caller's machine: the batch
+// travels to the proclet's machine (network), then to the device
+// (host link), then the kernel runs. Steps that land mid-migration
+// wait (outside the invocation) for the move to finish and retry.
+func (gp *Proclet) Step(p *sim.Proc, from cluster.MachineID, batchBytes int64) error {
+	for {
+		if gp.migrating {
+			// Wait for the in-progress device move, then re-route (the
+			// control proclet may now live on another machine).
+			gp.unblocked.Wait(p)
+			continue
+		}
+		_, err := gp.sys.Runtime.Invoke(p, from, 0, gp.pr.ID(), methodStep,
+			proclet.Msg{Payload: batchBytes, Bytes: batchBytes})
+		if errors.Is(err, proclet.ErrMigrating) {
+			continue
+		}
+		return err
+	}
+}
+
+// MigrateTo moves the model replica to another GPU: block new steps,
+// drain in-flight ones, copy device state (host link down, network if
+// cross-machine, host link up), move the control proclet if the
+// machine changed, and resume.
+func (gp *Proclet) MigrateTo(p *sim.Proc, dst *cluster.GPU) error {
+	if gp.dead {
+		return proclet.ErrDead
+	}
+	if dst == gp.gpu {
+		return nil
+	}
+	if !dst.Available() {
+		return fmt.Errorf("%w: destination %s", ErrReclaimed, dst)
+	}
+	if gp.migrating {
+		return proclet.ErrMigrating
+	}
+	if err := dst.AllocMem(gp.modelBytes); err != nil {
+		return err
+	}
+	src := gp.gpu
+	gp.migrating = true
+	for gp.active > 0 {
+		gp.drained.Wait(p)
+	}
+
+	// Device -> host on the source machine. If the source GPU was
+	// reclaimed (not just drained), the paper's checkpointing story
+	// would kick in; here the device remains readable for evacuation,
+	// matching providers' reclaim grace windows.
+	src.Download(p, gp.modelBytes)
+	if dst.Machine.ID != src.Machine.ID {
+		if err := gp.sys.Cluster.Fabric.Transfer(p,
+			simnet.NodeID(src.Machine.ID), simnet.NodeID(dst.Machine.ID), gp.modelBytes); err != nil {
+			dst.FreeMem(gp.modelBytes)
+			gp.migrating = false
+			gp.unblocked.Broadcast()
+			return err
+		}
+		if err := gp.sys.Runtime.Migrate(p, gp.pr.ID(), dst.Machine.ID); err != nil {
+			dst.FreeMem(gp.modelBytes)
+			gp.migrating = false
+			gp.unblocked.Broadcast()
+			return err
+		}
+	}
+	dst.Upload(p, gp.modelBytes)
+
+	src.FreeMem(gp.modelBytes)
+	gp.gpu = dst
+	gp.migrating = false
+	gp.unblocked.Broadcast()
+	gp.sys.Trace.Emitf(gp.sys.K.Now(), trace.KindMigrate, gp.name,
+		int(src.Machine.ID), int(dst.Machine.ID), "gpu %s -> %s (%d bytes)", src, dst, gp.modelBytes)
+	return nil
+}
+
+// Destroy releases device memory and the control proclet.
+func (gp *Proclet) Destroy() error {
+	if gp.dead {
+		return nil
+	}
+	gp.dead = true
+	gp.gpu.FreeMem(gp.modelBytes)
+	gp.unblocked.Broadcast()
+	gp.sys.Sched.UnregisterProclet(gp.pr.ID())
+	return gp.sys.Runtime.Destroy(gp.pr.ID())
+}

@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestTimeSeriesAtStepFunction(t *testing.T) {
+	s := NewTimeSeries("util")
+	s.Add(10, 1.0)
+	s.Add(20, 2.0)
+	s.Add(30, 3.0)
+
+	if _, ok := s.At(5); ok {
+		t.Error("At before first sample should report !ok")
+	}
+	cases := []struct {
+		at   sim.Time
+		want float64
+	}{{10, 1}, {15, 1}, {20, 2}, {29, 2}, {30, 3}, {100, 3}}
+	for _, c := range cases {
+		if v, ok := s.At(c.at); !ok || v != c.want {
+			t.Errorf("At(%d) = %v,%v, want %v,true", c.at, v, ok, c.want)
+		}
+	}
+}
+
+func TestTimeSeriesOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewTimeSeries("x")
+	s.Add(10, 1)
+	s.Add(5, 2)
+}
+
+func TestTimeSeriesMean(t *testing.T) {
+	s := NewTimeSeries("x")
+	s.Add(0, 0)
+	s.Add(10, 10)
+	// step: 0 on [0,10), 10 on [10,20) -> mean over [0,20) = 5
+	if got := s.Mean(0, 20); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// window fully in second step
+	if got := s.Mean(12, 18); got != 10 {
+		t.Errorf("Mean = %v, want 10", got)
+	}
+	// empty window
+	if got := s.Mean(10, 10); got != 0 {
+		t.Errorf("Mean on empty window = %v, want 0", got)
+	}
+}
+
+func TestTimeSeriesMax(t *testing.T) {
+	s := NewTimeSeries("x")
+	s.Add(0, 1)
+	s.Add(10, 7)
+	s.Add(20, 3)
+	if got := s.Max(5, 25); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if got := s.Max(15, 16); got != 7 { // step value at window start
+		t.Errorf("Max = %v, want 7 (step at from)", got)
+	}
+}
+
+func TestTimeSeriesFirstCrossing(t *testing.T) {
+	s := NewTimeSeries("x")
+	s.Add(0, 1)
+	s.Add(10, 5)
+	s.Add(20, 9)
+	at, ok := s.FirstCrossing(0, 100, func(v float64) bool { return v >= 5 })
+	if !ok || at != 10 {
+		t.Errorf("FirstCrossing = %v,%v, want 10,true", at, ok)
+	}
+	at, ok = s.FirstCrossing(15, 100, func(v float64) bool { return v >= 5 })
+	if !ok || at != 15 {
+		t.Errorf("FirstCrossing from mid-step = %v,%v, want 15,true", at, ok)
+	}
+	if _, ok := s.FirstCrossing(0, 100, func(v float64) bool { return v > 100 }); ok {
+		t.Error("FirstCrossing found impossible predicate")
+	}
+}
+
+func TestBucketSeries(t *testing.T) {
+	b := NewBucketSeries("goodput", time.Millisecond)
+	b.Add(0, 1)
+	b.Add(sim.Time(500*time.Microsecond), 2)
+	b.Add(sim.Time(time.Millisecond), 4)
+	b.Add(sim.Time(5*time.Millisecond), 8)
+	if b.NumBuckets() != 6 {
+		t.Errorf("NumBuckets = %d, want 6", b.NumBuckets())
+	}
+	if b.Bucket(0) != 3 || b.Bucket(1) != 4 || b.Bucket(5) != 8 {
+		t.Errorf("buckets = %v", b.Values())
+	}
+	if b.Bucket(2) != 0 || b.Bucket(99) != 0 {
+		t.Error("empty buckets should be 0")
+	}
+	if b.Total() != 15 {
+		t.Errorf("Total = %v, want 15", b.Total())
+	}
+	if b.Rate(1) != 4000 { // 4 per ms = 4000/s
+		t.Errorf("Rate(1) = %v, want 4000", b.Rate(1))
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram("lat")
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := h.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	// Observing after a percentile query must re-sort.
+	h.Observe(0.5)
+	if h.Min() != 0.5 {
+		t.Errorf("Min after new observation = %v, want 0.5", h.Min())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Error("empty histogram stats should be 0")
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram("d")
+	h.ObserveDuration(1500 * time.Millisecond)
+	if h.Mean() != 1.5 {
+		t.Errorf("Mean = %v, want 1.5", h.Mean())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c Counter
+	c.Addn(-1)
+}
+
+// Property: histogram percentiles are monotone and bounded by min/max.
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram("p")
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(100) == h.Max() && h.Percentile(0) == h.Min()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BucketSeries.Total equals the sum of inserted values, and
+// bucket assignment matches integer division.
+func TestBucketSeriesTotalProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		b := NewBucketSeries("x", 100*time.Nanosecond)
+		var want float64
+		wantBuckets := map[int]float64{}
+		for _, o := range offsets {
+			t := sim.Time(o)
+			b.Add(t, 1)
+			want++
+			wantBuckets[int(o/100)]++
+		}
+		if b.Total() != want {
+			return false
+		}
+		for i, v := range wantBuckets {
+			if b.Bucket(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TimeSeries.Mean of a constant series is that constant.
+func TestTimeSeriesConstantMeanProperty(t *testing.T) {
+	f := func(v float64, nRaw uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+			return true // v*dt would overflow float64; out of modeled domain
+		}
+		n := int(nRaw%20) + 1
+		s := NewTimeSeries("c")
+		times := make([]int64, n)
+		for i := range times {
+			times[i] = int64(i) * 17
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for _, tt := range times {
+			s.Add(sim.Time(tt), v)
+		}
+		got := s.Mean(0, sim.Time(times[n-1]+100))
+		return math.Abs(got-v) < 1e-9*math.Max(1, math.Abs(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package proclet
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Post-copy ("lazy") migration — the paper's §5 CXL direction: with
+// coherent remote memory, a proclet can *move* before its heap does.
+// MigrateLazy commits the location switch after only the drain and
+// pinning pause (a blackout independent of state size); the heap then
+// streams over in the background while invocations at the new home pay
+// a remote-access penalty for not-yet-resident state.
+//
+// Compared to Migrate (pre-copy):
+//
+//	            blackout              post-move invocation cost
+//	pre-copy    O(state/bandwidth)    none
+//	post-copy   O(1)                  LazyRemotePenalty until resident
+//
+// The heap stays charged to the source machine until the background
+// copy lands (the bytes physically live there), with the destination's
+// share reserved up front so the copy cannot strand the proclet.
+
+// Resident reports whether the proclet's heap is fully local to its
+// current machine (false during a post-copy window).
+func (pr *Proclet) Resident() bool { return !pr.lazyWindow }
+
+// MigrateLazy post-copy-migrates the proclet: the location flips after
+// draining in-flight invocations and paying only the fixed pinning
+// overhead; the heap streams over in the background. Further
+// migrations are rejected with ErrMigrating until the proclet is
+// resident.
+func (rt *Runtime) MigrateLazy(p *sim.Proc, id ID, to cluster.MachineID) error {
+	pr := rt.Lookup(id)
+	if pr == nil {
+		return ErrNotFound
+	}
+	if pr.state == StateMigrating || pr.lazyWindow {
+		return ErrMigrating
+	}
+	from := pr.machine
+	if from == to {
+		return nil
+	}
+	dst := rt.Cluster.Machine(to)
+	if dst == nil {
+		return ErrNotFound
+	}
+	// Reserve the destination's share up front; the source keeps its
+	// charge until the copy completes (the bytes live there).
+	if err := dst.AllocMem(pr.heapBytes); err != nil {
+		return err
+	}
+
+	start := rt.k.Now()
+	pr.state = StateMigrating
+	for task := range pr.tasks {
+		task.Cancel()
+	}
+	pr.tasks = make(map[*cluster.Task]struct{})
+	for pr.active > 0 {
+		pr.drained.Wait(p)
+	}
+
+	// Only the fixed control-plane pause — no per-byte pinning, the
+	// pages are not copied during the blackout.
+	p.Sleep(rt.cfg.MigrationFixedOverhead)
+
+	// Commit the move.
+	delete(rt.local[from], id)
+	rt.local[to][id] = pr
+	rt.directory[id] = to
+	rt.caches[from][id] = to
+	rt.caches[to][id] = to
+	pr.machine = to
+	pr.state = StateRunning
+	pr.lazyWindow = true
+	pr.unblocked.Broadcast()
+
+	blackout := rt.k.Now().Sub(start)
+	rt.MigrationLatency.ObserveDuration(blackout)
+	rt.Migrations.Inc()
+	rt.Trace.Emitf(rt.k.Now(), trace.KindMigrate, pr.name, int(from), int(to),
+		"post-copy blackout=%v bytes=%d", blackout, pr.heapBytes)
+
+	// Background copy: stream the heap, then settle the accounting.
+	heap := pr.heapBytes
+	rt.k.Spawn("postcopy/"+pr.name, func(bp *sim.Proc) {
+		if err := rt.Cluster.Fabric.Transfer(bp, simnet.NodeID(from), simnet.NodeID(to), heap); err != nil {
+			// The copy failed (partition): the proclet stays remote-
+			// dependent; retry until the fabric heals.
+			for err != nil {
+				bp.Sleep(time.Millisecond)
+				err = rt.Cluster.Fabric.Transfer(bp, simnet.NodeID(from), simnet.NodeID(to), heap)
+			}
+		}
+		rt.Cluster.Machine(from).FreeMem(heap)
+		pr.lazyWindow = false
+		pr.residentAt = rt.k.Now()
+		rt.LazyResidence.ObserveDuration(rt.k.Now().Sub(start))
+		rt.Trace.Emitf(rt.k.Now(), trace.KindMigrate, pr.name, int(from), int(to),
+			"post-copy resident after %v", rt.k.Now().Sub(start))
+	})
+	return nil
+}
+
+// lazyPenalty charges the remote-access cost of an invocation that
+// runs during a post-copy window.
+func (rt *Runtime) lazyPenalty(p *sim.Proc, pr *Proclet) {
+	if pr.lazyWindow && rt.cfg.LazyRemotePenalty > 0 {
+		rt.LazyPenalties.Inc()
+		p.Sleep(rt.cfg.LazyRemotePenalty)
+	}
+}

@@ -1,0 +1,258 @@
+// Package proclet implements the Nu substrate Quicksand builds on:
+// logical processes decomposed into proclets — granular, independently
+// schedulable units, each with a heap for state and threads for
+// computation, exposing an object-oriented method-invocation interface
+// and supporting live migration between machines in well under a
+// millisecond for small state (Ruan et al., NSDI '23).
+//
+// The runtime provides location transparency: local invocations cost a
+// function call, remote ones an RPC, and callers never name machines.
+// A directory service tracks authoritative proclet locations; each
+// machine keeps a location cache that is lazily invalidated when an
+// invocation chases a stale entry.
+package proclet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// ID identifies a proclet. IDs are never reused. Zero means "no
+// proclet" (external client).
+type ID int64
+
+// Msg is a method argument or result: a payload passed by reference
+// plus the byte size charged when it crosses the network.
+type Msg = simnet.Message
+
+// Errors returned by the proclet runtime.
+var (
+	ErrNotFound  = errors.New("proclet: no such proclet")
+	ErrDead      = errors.New("proclet: proclet destroyed")
+	ErrNoMethod  = errors.New("proclet: no such method")
+	ErrMoved     = errors.New("proclet: proclet moved")
+	ErrMigrating = errors.New("proclet: migration already in progress")
+	ErrRetries   = errors.New("proclet: invocation retries exhausted")
+)
+
+// State is a proclet's lifecycle state.
+type State int
+
+// Proclet lifecycle states.
+const (
+	StateRunning State = iota
+	StateMigrating
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateMigrating:
+		return "migrating"
+	case StateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Method is a proclet method. It runs in a simulated process on the
+// proclet's machine and may block: sleep, compute, or call other
+// proclets through the context.
+type Method func(ctx *Ctx, arg Msg) (Msg, error)
+
+// Proclet is one migratable unit: a heap (byte-accounted state plus an
+// arbitrary Go value in Data) and threads.
+type Proclet struct {
+	id      ID
+	name    string
+	rt      *Runtime
+	machine cluster.MachineID
+	state   State
+
+	heapBytes int64
+	methods   map[string]Method
+
+	// Data holds the proclet's actual structure state (shard contents,
+	// task queues). It travels with the proclet on migration; its
+	// simulated size is heapBytes.
+	Data any
+
+	active    int      // running method invocations
+	drained   sim.Cond // signaled when active returns to zero
+	unblocked sim.Cond // signaled when a migration completes
+
+	// Post-copy migration state (see postcopy.go).
+	lazyWindow bool     // heap not yet resident at pr.machine
+	residentAt sim.Time // when the last post-copy window closed
+
+	nextThread int64
+	tasks      map[*cluster.Task]struct{} // outstanding thread compute
+
+	commBytes map[ID]int64 // affinity: bytes exchanged per peer proclet
+	invokes   metrics.Counter
+}
+
+// ID returns the proclet's identifier.
+func (pr *Proclet) ID() ID { return pr.id }
+
+// Name returns the proclet's human-readable name.
+func (pr *Proclet) Name() string { return pr.name }
+
+// Location returns the machine currently hosting the proclet.
+func (pr *Proclet) Location() cluster.MachineID { return pr.machine }
+
+// State returns the proclet's lifecycle state.
+func (pr *Proclet) State() State { return pr.state }
+
+// HeapBytes returns the proclet's accounted state size.
+func (pr *Proclet) HeapBytes() int64 { return pr.heapBytes }
+
+// Invocations returns the number of method invocations executed.
+func (pr *Proclet) Invocations() int64 { return pr.invokes.Value() }
+
+// CommBytes returns bytes exchanged with each peer proclet since the
+// last ResetComm (the scheduler's affinity signal). Not a copy.
+func (pr *Proclet) CommBytes() map[ID]int64 { return pr.commBytes }
+
+// ResetComm clears the affinity counters.
+func (pr *Proclet) ResetComm() { pr.commBytes = make(map[ID]int64) }
+
+// Handle registers a method. Registration is not allowed after the
+// proclet has started serving (no enforcement; callers register at
+// construction time).
+func (pr *Proclet) Handle(method string, fn Method) {
+	if _, dup := pr.methods[method]; dup {
+		panic(fmt.Sprintf("proclet: duplicate method %q on %s", method, pr.name))
+	}
+	pr.methods[method] = fn
+}
+
+// GrowHeap adjusts the proclet's accounted state size by delta bytes
+// (negative shrinks), charging the hosting machine's memory. It fails
+// with cluster.ErrNoMemory when the machine cannot hold the growth.
+func (pr *Proclet) GrowHeap(delta int64) error {
+	if pr.state == StateDead {
+		return ErrDead
+	}
+	m := pr.rt.Cluster.Machine(pr.machine)
+	if delta >= 0 {
+		if err := m.AllocMem(delta); err != nil {
+			return err
+		}
+	} else {
+		m.FreeMem(-delta)
+	}
+	pr.heapBytes += delta
+	if pr.heapBytes < 0 {
+		panic(fmt.Sprintf("proclet: negative heap on %s", pr.name))
+	}
+	return nil
+}
+
+// Call invokes a method on another proclet from this one, recording
+// affinity and routing from this proclet's current machine.
+func (pr *Proclet) Call(p *sim.Proc, target ID, method string, arg Msg) (Msg, error) {
+	return pr.rt.Invoke(p, pr.machine, pr.id, target, method, arg)
+}
+
+// Ctx is passed to every method invocation.
+type Ctx struct {
+	// Proc is the simulated process executing the invocation.
+	Proc *sim.Proc
+	// Self is the proclet whose method is running.
+	Self *Proclet
+	// From identifies the calling proclet (0 for external clients).
+	From ID
+}
+
+// Machine returns the machine hosting the proclet right now.
+func (c *Ctx) Machine() *cluster.Machine {
+	return c.Self.rt.Cluster.Machine(c.Self.machine)
+}
+
+// Compute executes d of single-core CPU work on the proclet's machine.
+// Unlike thread compute, invocation compute is not migratable: the
+// migration protocol drains invocations first, so methods should keep
+// their compute slices short.
+func (c *Ctx) Compute(d time.Duration) {
+	c.Machine().Exec(c.Proc, d)
+}
+
+// Call invokes a method on another proclet on behalf of Self.
+func (c *Ctx) Call(target ID, method string, arg Msg) (Msg, error) {
+	return c.Self.Call(c.Proc, target, method, arg)
+}
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.Self.rt }
+
+// Thread is a proclet thread: long-running computation that belongs to
+// the proclet and follows it across migrations. When the proclet
+// migrates, in-flight Compute work is suspended and its remainder
+// resumes on the destination machine — the simulator's analogue of Nu
+// migrating thread stacks.
+type Thread struct {
+	pr   *Proclet
+	proc *sim.Proc
+	name string
+}
+
+// SpawnThread starts fn on a new thread of the proclet.
+func (pr *Proclet) SpawnThread(name string, fn func(t *Thread)) *Thread {
+	pr.nextThread++
+	t := &Thread{pr: pr, name: fmt.Sprintf("%s/%s-%d", pr.name, name, pr.nextThread)}
+	t.proc = pr.rt.k.Spawn(t.name, func(p *sim.Proc) {
+		t.proc = p
+		fn(t)
+	})
+	return t
+}
+
+// Proc returns the thread's simulated process.
+func (t *Thread) Proc() *sim.Proc { return t.proc }
+
+// Proclet returns the owning proclet.
+func (t *Thread) Proclet() *Proclet { return t.pr }
+
+// Sleep suspends the thread for virtual duration d.
+func (t *Thread) Sleep(d time.Duration) { t.proc.Sleep(d) }
+
+// Compute executes d of single-core CPU work on whichever machine hosts
+// the proclet, following it across migrations: if the proclet migrates
+// mid-compute, the remaining work resumes on the new machine.
+func (t *Thread) Compute(d time.Duration) {
+	pr := t.pr
+	for d > 0 {
+		switch pr.state {
+		case StateDead:
+			return
+		case StateMigrating:
+			pr.unblocked.Wait(t.proc)
+			continue
+		}
+		m := pr.rt.Cluster.Machine(pr.machine)
+		task := m.Submit(d)
+		pr.tasks[task] = struct{}{}
+		canceled, rem := task.Wait(t.proc)
+		delete(pr.tasks, task)
+		if !canceled {
+			return
+		}
+		d = rem
+	}
+}
+
+// Call invokes a method on another proclet on behalf of this thread's
+// proclet.
+func (t *Thread) Call(target ID, method string, arg Msg) (Msg, error) {
+	return t.pr.Call(t.proc, target, method, arg)
+}

@@ -1,0 +1,374 @@
+package proclet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Config tunes the runtime's cost model.
+type Config struct {
+	// MigrationFixedOverhead is the control-plane cost charged once per
+	// migration: pausing, page-table setup, directory update.
+	MigrationFixedOverhead time.Duration
+	// MigrationPerMiB is the kernel-side page pinning/mapping cost per
+	// MiB of migrated heap (the paper's §5 notes this as today's
+	// kernel bottleneck).
+	MigrationPerMiB time.Duration
+	// DirectoryLookup is the cost of consulting the directory service
+	// on a location-cache miss.
+	DirectoryLookup time.Duration
+	// LocalInvokeOverhead is the dispatch cost of a same-machine
+	// method invocation (a function call).
+	LocalInvokeOverhead time.Duration
+	// MaxInvokeRetries bounds routing retries while chasing a moving
+	// proclet.
+	MaxInvokeRetries int
+	// LazyRemotePenalty is the per-invocation cost of touching
+	// not-yet-copied state through coherent remote memory during a
+	// post-copy (CXL-style) migration window (§5: "postponing the
+	// copying of data").
+	LazyRemotePenalty time.Duration
+}
+
+// DefaultConfig matches Nu's reported costs: sub-millisecond migration
+// for small proclets (fixed ~50 us + pinning ~30 us/MiB on top of wire
+// time) and ~100 ns local dispatch.
+func DefaultConfig() Config {
+	return Config{
+		MigrationFixedOverhead: 50 * time.Microsecond,
+		MigrationPerMiB:        30 * time.Microsecond,
+		DirectoryLookup:        5 * time.Microsecond,
+		LocalInvokeOverhead:    100 * time.Nanosecond,
+		MaxInvokeRetries:       16,
+		LazyRemotePenalty:      4 * time.Microsecond,
+	}
+}
+
+// Runtime is the distributed proclet runtime spanning every machine in
+// the cluster (Nu's "distributed runtime" that avoids cold starts).
+type Runtime struct {
+	Cluster *cluster.Cluster
+	Trace   *trace.Log
+
+	cfg    Config
+	k      *sim.Kernel
+	nextID ID
+
+	directory map[ID]cluster.MachineID                       // authoritative
+	local     map[cluster.MachineID]map[ID]*Proclet          // per-machine tables
+	caches    map[cluster.MachineID]map[ID]cluster.MachineID // per-machine location caches
+
+	// MigrationLatency records blackout times (the window in which new
+	// invocations block) in seconds, for both pre- and post-copy
+	// migrations. LazyResidence records post-copy start-to-resident
+	// times.
+	MigrationLatency *metrics.Histogram
+	LazyResidence    *metrics.Histogram
+	// Counters for runtime activity.
+	Migrations       metrics.Counter
+	DirectoryLookups metrics.Counter
+	LocalInvokes     metrics.Counter
+	RemoteInvokes    metrics.Counter
+	LazyPenalties    metrics.Counter
+}
+
+// invokeReq is the wire format of a remote invocation.
+type invokeReq struct {
+	From   ID
+	Target ID
+	Method string
+	Arg    Msg
+}
+
+// NewRuntime creates a runtime over an already-populated cluster (all
+// machines must be added before calling). tl may be nil to disable
+// tracing.
+func NewRuntime(c *cluster.Cluster, cfg Config, tl *trace.Log) *Runtime {
+	if cfg.MaxInvokeRetries <= 0 {
+		cfg.MaxInvokeRetries = 16
+	}
+	rt := &Runtime{
+		Cluster:          c,
+		Trace:            tl,
+		cfg:              cfg,
+		k:                c.K,
+		directory:        make(map[ID]cluster.MachineID),
+		local:            make(map[cluster.MachineID]map[ID]*Proclet),
+		caches:           make(map[cluster.MachineID]map[ID]cluster.MachineID),
+		MigrationLatency: metrics.NewHistogram("proclet.migration_latency"),
+		LazyResidence:    metrics.NewHistogram("proclet.lazy_residence"),
+	}
+	for _, m := range c.Machines() {
+		mid := m.ID
+		rt.local[mid] = make(map[ID]*Proclet)
+		rt.caches[mid] = make(map[ID]cluster.MachineID)
+		c.Node(mid).Handle("proclet.invoke", func(hp *sim.Proc, req simnet.Message) (simnet.Message, error) {
+			r := req.Payload.(*invokeReq)
+			return rt.execOn(hp, mid, r)
+		})
+	}
+	return rt
+}
+
+// Config returns the runtime's cost-model configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Kernel returns the simulation kernel.
+func (rt *Runtime) Kernel() *sim.Kernel { return rt.k }
+
+// Spawn creates a proclet with heapBytes of state on machine m. It
+// fails with cluster.ErrNoMemory when m cannot hold the heap.
+func (rt *Runtime) Spawn(name string, m cluster.MachineID, heapBytes int64) (*Proclet, error) {
+	mach := rt.Cluster.Machine(m)
+	if mach == nil {
+		return nil, fmt.Errorf("%w: machine %d", ErrNotFound, m)
+	}
+	if err := mach.AllocMem(heapBytes); err != nil {
+		return nil, err
+	}
+	rt.nextID++
+	pr := &Proclet{
+		id:        rt.nextID,
+		name:      name,
+		rt:        rt,
+		machine:   m,
+		heapBytes: heapBytes,
+		methods:   make(map[string]Method),
+		tasks:     make(map[*cluster.Task]struct{}),
+		commBytes: make(map[ID]int64),
+	}
+	rt.directory[pr.id] = m
+	rt.local[m][pr.id] = pr
+	rt.Trace.Emitf(rt.k.Now(), trace.KindSpawn, name, -1, int(m), "heap=%d id=%d", heapBytes, pr.id)
+	return pr, nil
+}
+
+// Destroy removes a proclet, releasing its memory. Blocked and future
+// invocations fail with ErrDead (after routing notices the removal).
+func (rt *Runtime) Destroy(id ID) error {
+	pr := rt.Lookup(id)
+	if pr == nil {
+		return ErrNotFound
+	}
+	if pr.state == StateMigrating {
+		return ErrMigrating
+	}
+	m := pr.machine
+	rt.Cluster.Machine(m).FreeMem(pr.heapBytes)
+	pr.heapBytes = 0
+	pr.state = StateDead
+	for task := range pr.tasks {
+		task.Cancel()
+	}
+	pr.tasks = make(map[*cluster.Task]struct{})
+	delete(rt.local[m], id)
+	delete(rt.directory, id)
+	pr.unblocked.Broadcast()
+	rt.Trace.Emitf(rt.k.Now(), trace.KindDestroy, pr.name, int(m), -1, "id=%d", id)
+	return nil
+}
+
+// Lookup returns the proclet with the given ID, or nil. It is a
+// zero-cost host-side accessor for controllers and tests; simulated
+// code pays routing costs through Invoke.
+func (rt *Runtime) Lookup(id ID) *Proclet {
+	m, ok := rt.directory[id]
+	if !ok {
+		return nil
+	}
+	return rt.local[m][id]
+}
+
+// Proclets returns all live proclets (iteration order unspecified).
+func (rt *Runtime) Proclets() []*Proclet {
+	var out []*Proclet
+	for id, m := range rt.directory {
+		if pr := rt.local[m][id]; pr != nil {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// locate returns the target's location as seen from machine m, charging
+// a directory lookup on cache miss.
+func (rt *Runtime) locate(p *sim.Proc, m cluster.MachineID, target ID) (cluster.MachineID, error) {
+	if loc, ok := rt.caches[m][target]; ok {
+		return loc, nil
+	}
+	rt.DirectoryLookups.Inc()
+	p.Sleep(rt.cfg.DirectoryLookup)
+	loc, ok := rt.directory[target]
+	if !ok {
+		return 0, fmt.Errorf("%w: id %d", ErrNotFound, target)
+	}
+	rt.caches[m][target] = loc
+	return loc, nil
+}
+
+// Invoke calls a method on the target proclet from fromMachine. from is
+// the calling proclet (0 for external clients); it is used for affinity
+// accounting. The call blocks the calling process until the reply
+// arrives, chasing stale location caches as needed.
+func (rt *Runtime) Invoke(p *sim.Proc, fromMachine cluster.MachineID, from ID, target ID, method string, arg Msg) (Msg, error) {
+	req := &invokeReq{From: from, Target: target, Method: method, Arg: arg}
+	for attempt := 0; attempt < rt.cfg.MaxInvokeRetries; attempt++ {
+		loc, err := rt.locate(p, fromMachine, target)
+		if err != nil {
+			return Msg{}, err
+		}
+		if loc == fromMachine {
+			pr, ok := rt.local[loc][target]
+			if !ok {
+				delete(rt.caches[fromMachine], target)
+				continue
+			}
+			if pr.state == StateMigrating {
+				pr.unblocked.Wait(p)
+				continue
+			}
+			p.Sleep(rt.cfg.LocalInvokeOverhead)
+			rt.LocalInvokes.Inc()
+			return rt.exec(p, pr, from, method, arg)
+		}
+		reply, err := rt.Cluster.Fabric.Call(p,
+			simnet.NodeID(fromMachine), simnet.NodeID(loc),
+			"proclet.invoke", simnet.Message{Payload: req, Bytes: arg.Bytes})
+		if errors.Is(err, ErrMoved) {
+			delete(rt.caches[fromMachine], target)
+			continue
+		}
+		if err != nil {
+			return Msg{}, err
+		}
+		rt.RemoteInvokes.Inc()
+		return reply, nil
+	}
+	return Msg{}, fmt.Errorf("%w: target %d method %q", ErrRetries, target, method)
+}
+
+// execOn runs an invocation that arrived at machine m, waiting out any
+// in-progress migration and reporting ErrMoved when the proclet is no
+// longer (or never was) here.
+func (rt *Runtime) execOn(p *sim.Proc, m cluster.MachineID, r *invokeReq) (Msg, error) {
+	for {
+		pr, ok := rt.local[m][r.Target]
+		if !ok {
+			return Msg{}, ErrMoved
+		}
+		if pr.state == StateMigrating {
+			pr.unblocked.Wait(p)
+			continue
+		}
+		return rt.exec(p, pr, r.From, r.Method, r.Arg)
+	}
+}
+
+// exec dispatches the method on a proclet known to be local and
+// running, tracking the active-invocation count for migration drains
+// and affinity bytes for the scheduler.
+func (rt *Runtime) exec(p *sim.Proc, pr *Proclet, from ID, method string, arg Msg) (Msg, error) {
+	fn, ok := pr.methods[method]
+	if !ok {
+		return Msg{}, fmt.Errorf("%w: %q on %s", ErrNoMethod, method, pr.name)
+	}
+	rt.lazyPenalty(p, pr)
+	pr.active++
+	ctx := &Ctx{Proc: p, Self: pr, From: from}
+	res, err := fn(ctx, arg)
+	pr.active--
+	if pr.active == 0 {
+		pr.drained.Broadcast()
+	}
+	pr.invokes.Inc()
+	if from != 0 {
+		bytes := arg.Bytes + res.Bytes
+		pr.commBytes[from] += bytes
+		// Record symmetrically so a mobile caller can discover its
+		// affinity for a pinned callee.
+		if caller := rt.Lookup(from); caller != nil {
+			caller.commBytes[pr.id] += bytes
+		}
+	}
+	return res, err
+}
+
+// Migrate live-migrates the proclet to machine `to`, blocking the
+// calling process for the duration. The protocol: reserve destination
+// memory, block new invocations, suspend thread compute, drain active
+// invocations, pay pinning overhead, copy the heap over the wire,
+// commit the move, and resume. Fails without side effects when the
+// destination cannot hold the heap.
+func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
+	pr := rt.Lookup(id)
+	if pr == nil {
+		return ErrNotFound
+	}
+	if pr.state == StateMigrating || pr.lazyWindow {
+		return ErrMigrating
+	}
+	from := pr.machine
+	if from == to {
+		return nil
+	}
+	dst := rt.Cluster.Machine(to)
+	if dst == nil {
+		return fmt.Errorf("%w: machine %d", ErrNotFound, to)
+	}
+	if err := dst.AllocMem(pr.heapBytes); err != nil {
+		return err
+	}
+
+	start := rt.k.Now()
+	pr.state = StateMigrating
+
+	// Suspend thread compute; remaining work resumes at the destination.
+	for task := range pr.tasks {
+		task.Cancel()
+	}
+	pr.tasks = make(map[*cluster.Task]struct{})
+
+	// Drain in-flight method invocations.
+	for pr.active > 0 {
+		pr.drained.Wait(p)
+	}
+
+	// Kernel-side pause: page pinning and mapping, scaled by heap size.
+	pin := rt.cfg.MigrationFixedOverhead +
+		time.Duration(float64(rt.cfg.MigrationPerMiB)*float64(pr.heapBytes)/(1<<20))
+	p.Sleep(pin)
+
+	// Copy the heap.
+	if err := rt.Cluster.Fabric.Transfer(p, simnet.NodeID(from), simnet.NodeID(to), pr.heapBytes); err != nil {
+		// Roll back: the proclet stays where it was.
+		dst.FreeMem(pr.heapBytes)
+		pr.state = StateRunning
+		pr.unblocked.Broadcast()
+		return err
+	}
+
+	// Commit.
+	rt.Cluster.Machine(from).FreeMem(pr.heapBytes)
+	delete(rt.local[from], id)
+	rt.local[to][id] = pr
+	rt.directory[id] = to
+	rt.caches[from][id] = to
+	rt.caches[to][id] = to
+	pr.machine = to
+	pr.state = StateRunning
+	pr.unblocked.Broadcast()
+
+	d := rt.k.Now().Sub(start)
+	rt.MigrationLatency.ObserveDuration(d)
+	rt.Migrations.Inc()
+	rt.Trace.Emitf(rt.k.Now(), trace.KindMigrate, pr.name, int(from), int(to),
+		"bytes=%d latency=%v", pr.heapBytes, d)
+	return nil
+}

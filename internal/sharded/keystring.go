@@ -1,0 +1,46 @@
+package sharded
+
+import "fmt"
+
+// keyString produces a canonical string form of a comparable key for
+// hashing. Common key types avoid reflection; everything else falls
+// back to fmt.
+func keyString[K comparable](k K) string {
+	switch v := any(k).(type) {
+	case string:
+		return v
+	case int:
+		return itoa(int64(v))
+	case int32:
+		return itoa(int64(v))
+	case int64:
+		return itoa(v)
+	case uint64:
+		return utoa(v)
+	case uint32:
+		return utoa(uint64(v))
+	default:
+		return fmt.Sprint(k)
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + utoa(uint64(-v))
+	}
+	return utoa(uint64(v))
+}
+
+func utoa(v uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,197 @@
+package sim
+
+import "time"
+
+// Chan is a simulated channel carrying values of type T between
+// simulated processes. Semantics mirror Go channels: a zero-capacity
+// channel rendezvouses sender and receiver; a buffered channel blocks
+// senders only when full and receivers only when empty. Waiters are
+// served in FIFO order, which keeps simulations deterministic.
+type Chan[T any] struct {
+	k      *Kernel
+	buf    []T
+	cap    int
+	closed bool
+	recvQ  []*chanRecv[T]
+	sendQ  []*chanSend[T]
+}
+
+type chanRecv[T any] struct {
+	w   *waiter
+	val T
+	ok  bool
+	rcv bool // value delivered directly to this receiver
+}
+
+type chanSend[T any] struct {
+	w   *waiter
+	val T
+	ok  bool // send completed (vs channel closed under a parked sender)
+}
+
+// NewChan creates a simulated channel with the given buffer capacity.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan[T]{k: k, cap: capacity}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Cap returns the channel's buffer capacity.
+func (c *Chan[T]) Cap() int { return c.cap }
+
+// Closed reports whether the channel has been closed.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// popRecv removes and returns the first receiver still eligible to be
+// woken, or nil.
+func (c *Chan[T]) popRecv() *chanRecv[T] {
+	for len(c.recvQ) > 0 {
+		r := c.recvQ[0]
+		c.recvQ = c.recvQ[1:]
+		if !r.w.woken {
+			return r
+		}
+	}
+	return nil
+}
+
+func (c *Chan[T]) popSend() *chanSend[T] {
+	for len(c.sendQ) > 0 {
+		s := c.sendQ[0]
+		c.sendQ = c.sendQ[1:]
+		if !s.w.woken {
+			return s
+		}
+	}
+	return nil
+}
+
+// TrySend attempts a non-blocking send. It reports whether the value was
+// delivered. Sending on a closed channel panics, as with Go channels.
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		panic("sim: send on closed channel")
+	}
+	if r := c.popRecv(); r != nil {
+		r.val, r.ok, r.rcv = v, true, true
+		r.w.wake()
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Send delivers v, blocking the calling process until a receiver or
+// buffer slot is available.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if c.TrySend(v) {
+		return
+	}
+	s := &chanSend[T]{w: p.prepark(), val: v}
+	c.sendQ = append(c.sendQ, s)
+	p.park()
+	if !s.ok {
+		panic("sim: send on closed channel")
+	}
+}
+
+// TryRecv attempts a non-blocking receive. ok is false when the channel
+// is empty (and not closed-drained); closed reports a closed, drained
+// channel.
+func (c *Chan[T]) TryRecv() (v T, ok bool, chClosed bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		// A parked sender can now move its value into the freed slot.
+		if s := c.popSend(); s != nil {
+			c.buf = append(c.buf, s.val)
+			s.ok = true
+			s.w.wake()
+		}
+		return v, true, false
+	}
+	if s := c.popSend(); s != nil {
+		// Unbuffered rendezvous (or buffered with zero cap edge).
+		v = s.val
+		s.ok = true
+		s.w.wake()
+		return v, true, false
+	}
+	if c.closed {
+		return v, false, true
+	}
+	return v, false, false
+}
+
+// Recv blocks until a value is available or the channel is closed and
+// drained. ok is false only on a closed, drained channel.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	if v, ok, chClosed := c.TryRecv(); ok || chClosed {
+		return v, ok
+	}
+	r := &chanRecv[T]{w: p.prepark()}
+	c.recvQ = append(c.recvQ, r)
+	p.park()
+	if r.rcv {
+		return r.val, r.ok
+	}
+	// Woken by close.
+	return r.val, false
+}
+
+// RecvTimeout is Recv with a virtual-time deadline. timedOut is true when
+// the deadline elapsed before a value arrived.
+func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool, timedOut bool) {
+	if v, ok, chClosed := c.TryRecv(); ok || chClosed {
+		return v, ok, false
+	}
+	if d <= 0 {
+		return v, false, true
+	}
+	r := &chanRecv[T]{w: p.prepark()}
+	c.recvQ = append(c.recvQ, r)
+	timeout := false
+	p.k.After(d, func() {
+		if r.w.wake() {
+			timeout = true
+		}
+	})
+	p.park()
+	if timeout {
+		return v, false, true
+	}
+	if r.rcv {
+		return r.val, r.ok, false
+	}
+	return r.val, false, false
+}
+
+// Close closes the channel, waking all parked receivers with ok=false
+// and panicking any parked senders (mirroring Go semantics). Closing an
+// already-closed channel panics.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		panic("sim: close of closed channel")
+	}
+	c.closed = true
+	for _, r := range c.recvQ {
+		if !r.w.woken {
+			r.w.wake()
+		}
+	}
+	c.recvQ = nil
+	for _, s := range c.sendQ {
+		if !s.w.woken {
+			s.ok = false
+			s.w.wake()
+		}
+	}
+	c.sendQ = nil
+}

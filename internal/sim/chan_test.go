@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestChanUnbufferedRendezvous(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 0)
+	var sendDone, recvDone Time
+	k.Spawn("sender", func(p *Proc) {
+		ch.Send(p, 7)
+		sendDone = p.Now()
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		v, ok := ch.Recv(p)
+		if !ok || v != 7 {
+			t.Errorf("Recv = %d,%v, want 7,true", v, ok)
+		}
+		recvDone = p.Now()
+	})
+	k.Run()
+	if sendDone != 5*Millisecond || recvDone != 5*Millisecond {
+		t.Errorf("send at %v recv at %v, want both 5ms", sendDone, recvDone)
+	}
+}
+
+func TestChanBufferedNonBlocking(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 2)
+	var t1 Time = -1
+	k.Spawn("sender", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2)
+		t1 = p.Now()  // both should complete without blocking
+		ch.Send(p, 3) // blocks until a recv
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		if v, _ := ch.Recv(p); v != 1 {
+			t.Errorf("first recv = %d, want 1", v)
+		}
+	})
+	k.Run()
+	if t1 != 0 {
+		t.Errorf("buffered sends finished at %v, want 0", t1)
+	}
+	if ch.Len() != 2 { // 2 then 3 moved in after recv of 1
+		t.Errorf("Len() = %d, want 2", ch.Len())
+	}
+}
+
+func TestChanFIFOAcrossSenders(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 0)
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Spawn("s", func(p *Proc) { ch.Send(p, i) })
+	}
+	var got []int
+	k.Spawn("r", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		for j := 0; j < 5; j++ {
+			v, _ := ch.Recv(p)
+			got = append(got, v)
+		}
+	})
+	k.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("recv order %v, want ascending (FIFO senders)", got)
+		}
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 0)
+	closedSeen := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("r", func(p *Proc) {
+			if _, ok := ch.Recv(p); !ok {
+				closedSeen++
+			}
+		})
+	}
+	k.Spawn("closer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ch.Close()
+	})
+	k.Run()
+	if closedSeen != 3 {
+		t.Errorf("closedSeen = %d, want 3", closedSeen)
+	}
+}
+
+func TestChanCloseDrainsBuffer(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 3)
+	k.Spawn("p", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2)
+		ch.Close()
+		if v, ok := ch.Recv(p); !ok || v != 1 {
+			t.Errorf("recv after close = %d,%v, want 1,true", v, ok)
+		}
+		if v, ok := ch.Recv(p); !ok || v != 2 {
+			t.Errorf("recv after close = %d,%v, want 2,true", v, ok)
+		}
+		if _, ok := ch.Recv(p); ok {
+			t.Error("recv on drained closed channel reported ok")
+		}
+	})
+	k.Run()
+}
+
+func TestChanSendOnClosedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k := NewKernel(1)
+	ch := NewChan[int](k, 1)
+	ch.Close()
+	k.Spawn("p", func(p *Proc) { ch.Send(p, 1) })
+	k.Run()
+}
+
+func TestChanTrySendTryRecv(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[string](k, 1)
+	if !ch.TrySend("a") {
+		t.Fatal("TrySend into empty buffer failed")
+	}
+	if ch.TrySend("b") {
+		t.Fatal("TrySend into full buffer succeeded")
+	}
+	v, ok, closed := ch.TryRecv()
+	if !ok || closed || v != "a" {
+		t.Fatalf("TryRecv = %q,%v,%v", v, ok, closed)
+	}
+	_, ok, closed = ch.TryRecv()
+	if ok || closed {
+		t.Fatalf("TryRecv on empty = ok=%v closed=%v", ok, closed)
+	}
+}
+
+func TestChanRecvTimeout(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 0)
+	var timedOutAt Time
+	k.Spawn("r", func(p *Proc) {
+		_, ok, timedOut := ch.RecvTimeout(p, 2*time.Millisecond)
+		if ok || !timedOut {
+			t.Errorf("RecvTimeout = ok=%v timedOut=%v, want timeout", ok, timedOut)
+		}
+		timedOutAt = p.Now()
+		// A later send must not be stolen by the dead waiter.
+		v, ok, timedOut := ch.RecvTimeout(p, 10*time.Millisecond)
+		if !ok || timedOut || v != 9 {
+			t.Errorf("second RecvTimeout = %d,%v,%v, want 9,true,false", v, ok, timedOut)
+		}
+	})
+	k.Spawn("s", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		ch.Send(p, 9)
+	})
+	k.Run()
+	if timedOutAt != 2*Millisecond {
+		t.Errorf("timed out at %v, want 2ms", timedOutAt)
+	}
+}
+
+func TestChanRecvTimeoutValueArrivesFirst(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 0)
+	k.Spawn("r", func(p *Proc) {
+		v, ok, timedOut := ch.RecvTimeout(p, 10*time.Millisecond)
+		if !ok || timedOut || v != 4 {
+			t.Errorf("RecvTimeout = %d,%v,%v, want 4,true,false", v, ok, timedOut)
+		}
+		if p.Now() != Millisecond {
+			t.Errorf("received at %v, want 1ms", p.Now())
+		}
+	})
+	k.Spawn("s", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ch.Send(p, 4)
+	})
+	k.Run()
+}
+
+// TestChanPreservesSequenceProperty checks, for arbitrary payload
+// sequences, that a channel delivers exactly the sent values in order
+// through a producer/consumer pair.
+func TestChanPreservesSequenceProperty(t *testing.T) {
+	f := func(vals []int32, capRaw uint8) bool {
+		capacity := int(capRaw % 8)
+		k := NewKernel(7)
+		ch := NewChan[int32](k, capacity)
+		k.Spawn("producer", func(p *Proc) {
+			for _, v := range vals {
+				ch.Send(p, v)
+			}
+			ch.Close()
+		})
+		var got []int32
+		k.Spawn("consumer", func(p *Proc) {
+			for {
+				v, ok := ch.Recv(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		k.Run()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,345 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// with virtual time and goroutine-backed simulated processes.
+//
+// The kernel executes exactly one simulated process at a time and hands
+// control back and forth over channels, so simulated code is written as
+// ordinary sequential Go while the kernel retains full determinism: given
+// the same seed and the same program, every run produces an identical
+// event order. Virtual time advances only when the kernel pops events
+// from its queue; simulated code never consumes wall-clock time.
+//
+// All Quicksand substrates (machines, networks, proclets) are built on
+// this kernel, which is what makes microsecond-scale claims (migration
+// latency, time-to-equilibrium) reproducible in tests on any hardware.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Common virtual-time unit constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts the timestamp to a duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the timestamp as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a single entry in the kernel's event queue.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event simulator.
+//
+// A Kernel is not safe for concurrent use from multiple host goroutines;
+// all interaction must happen either before Run or from within simulated
+// processes and scheduled events.
+type Kernel struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	rng       *rand.Rand
+	nextPID   int64
+	live      int // processes spawned and not yet finished
+	blocked   int // processes currently parked
+	yield     chan yieldMsg
+	curr      *Proc
+	processed uint64
+	stopFlag  bool
+}
+
+type yieldMsg struct {
+	p        *Proc
+	done     bool
+	panicked bool
+	panicVal any
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan yieldMsg),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// EventsProcessed reports how many events the kernel has executed.
+func (k *Kernel) EventsProcessed() uint64 { return k.processed }
+
+// Live reports the number of spawned processes that have not finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Blocked reports the number of processes currently parked on a wait
+// primitive. When Run returns with Blocked() > 0, those processes were
+// waiting on conditions that never fired (often daemons, sometimes bugs).
+func (k *Kernel) Blocked() int { return k.blocked }
+
+// Schedule runs fn at absolute virtual time at (clamped to now if in the
+// past). fn executes in kernel context: it must not block, but it may
+// spawn or wake processes.
+func (k *Kernel) Schedule(at Time, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// After runs fn after virtual duration d.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	k.Schedule(k.now.Add(d), fn)
+}
+
+// Every runs fn at t0 and then every period until it returns false or
+// the simulation ends.
+func (k *Kernel) Every(t0 Time, period time.Duration, fn func() bool) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	var tick func()
+	at := t0
+	tick = func() {
+		if !fn() {
+			return
+		}
+		at = at.Add(period)
+		k.Schedule(at, tick)
+	}
+	k.Schedule(at, tick)
+}
+
+// Spawn starts a new simulated process running fn. The process begins
+// executing at the current virtual time, after the caller yields back to
+// the kernel.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.nextPID++
+	p := &Proc{
+		ID:     k.nextPID,
+		Name:   name,
+		k:      k,
+		resume: make(chan struct{}),
+	}
+	k.live++
+	k.Schedule(k.now, func() { k.startProc(p, fn) })
+	return p
+}
+
+func (k *Kernel) startProc(p *Proc, fn func(p *Proc)) {
+	go func() {
+		<-p.resume
+		defer func() {
+			msg := yieldMsg{p: p, done: true}
+			if r := recover(); r != nil {
+				msg.panicked = true
+				msg.panicVal = r
+			}
+			k.yield <- msg
+		}()
+		fn(p)
+	}()
+	k.resumeAndWait(p)
+}
+
+// resumeAndWait transfers control to p and blocks until p parks or
+// finishes. It must only be called from kernel context.
+func (k *Kernel) resumeAndWait(p *Proc) {
+	if p.finished {
+		return
+	}
+	k.curr = p
+	p.resume <- struct{}{}
+	msg := <-k.yield
+	k.curr = nil
+	if msg.p != p {
+		panic(fmt.Sprintf("sim: yield from %q while running %q", msg.p.Name, p.Name))
+	}
+	if msg.done {
+		p.finished = true
+		k.live--
+		if msg.panicked {
+			panic(fmt.Sprintf("sim: process %q panicked at %v: %v", p.Name, k.now, msg.panicVal))
+		}
+		return
+	}
+	k.blocked++
+}
+
+// wake schedules p to resume at the current virtual time.
+func (k *Kernel) wake(p *Proc) {
+	k.blocked--
+	k.Schedule(k.now, func() { k.resumeAndWait(p) })
+}
+
+// Step executes the next pending event. It reports false when the event
+// queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	if e.at > k.now {
+		k.now = e.at
+	}
+	k.processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the final virtual time.
+func (k *Kernel) Run() Time {
+	k.stopFlag = false
+	for !k.stopFlag && k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps up to and including t, then
+// advances the clock to t. Events scheduled after t remain queued.
+func (k *Kernel) RunUntil(t Time) Time {
+	k.stopFlag = false
+	for !k.stopFlag && len(k.events) > 0 && k.events[0].at <= t {
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// Stop makes the innermost Run or RunUntil return after the current
+// event completes. It may be called from events or simulated processes.
+func (k *Kernel) Stop() { k.stopFlag = true }
+
+// Proc is a simulated process: a goroutine whose execution interleaves
+// deterministically with all other simulated processes under kernel
+// control. All blocking methods must be called only from the process's
+// own goroutine.
+type Proc struct {
+	ID       int64
+	Name     string
+	k        *Kernel
+	resume   chan struct{}
+	finished bool
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park yields to the kernel until some other party wakes this process.
+func (p *Proc) park() {
+	p.k.yield <- yieldMsg{p: p}
+	<-p.resume
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.Schedule(k.now.Add(d), func() { k.wakeParked(p) })
+	p.parkCounted()
+}
+
+// SleepUntil suspends the process until absolute virtual time t.
+func (p *Proc) SleepUntil(t Time) {
+	p.Sleep(t.Sub(p.k.now))
+}
+
+// Yield lets every other event and process scheduled for the current
+// instant run before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// parkCounted parks and lets the kernel account the process as blocked.
+// The waker must go through a path that decrements the blocked count
+// (kernel.wake / wakeParked).
+func (p *Proc) parkCounted() { p.park() }
+
+// wakeParked resumes a process that parked via a primitive that did not
+// pre-register a waiter (Sleep). It runs in kernel context.
+func (k *Kernel) wakeParked(p *Proc) {
+	k.blocked--
+	k.resumeAndWait(p)
+}
+
+// waiter is a one-shot wake handle for a parked process. Primitives
+// (channels, mutexes, timeouts) register a waiter before parking so that
+// multiple potential wakers (for example, a sender and a timeout) race
+// safely: only the first wake resumes the process.
+type waiter struct {
+	p     *Proc
+	woken bool
+}
+
+// prepark registers a wake handle. The caller must subsequently call
+// park exactly once; any number of parties may call wake on the handle.
+func (p *Proc) prepark() *waiter {
+	return &waiter{p: p}
+}
+
+// wake resumes the parked process if it has not been woken already. It
+// reports whether this call was the one that woke it. Safe to call from
+// kernel context or from another simulated process.
+func (w *waiter) wake() bool {
+	if w.woken {
+		return false
+	}
+	w.woken = true
+	w.p.k.wake(w.p)
+	return true
+}

@@ -1,0 +1,244 @@
+package sim
+
+import "time"
+
+// Mutex is a simulated mutual-exclusion lock with FIFO handoff.
+type Mutex struct {
+	held    bool
+	waiters []*waiter
+}
+
+// Lock acquires the mutex, blocking the calling process until available.
+func (m *Mutex) Lock(p *Proc) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	w := p.prepark()
+	m.waiters = append(m.waiters, w)
+	p.park()
+	// Ownership was handed to us by Unlock.
+}
+
+// TryLock acquires the mutex if it is free.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases the mutex, handing it to the oldest waiter if any.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("sim: unlock of unlocked mutex")
+	}
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if w.wake() {
+			// Lock stays held; ownership transfers to the woken process.
+			return
+		}
+	}
+	m.held = false
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.held }
+
+// WaitGroup waits for a collection of simulated activities to finish.
+type WaitGroup struct {
+	count   int
+	waiters []*waiter
+}
+
+// Add adds delta to the counter. Panics if the counter goes negative.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		wg.release()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count returns the current counter value.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait blocks the calling process until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	w := p.prepark()
+	wg.waiters = append(wg.waiters, w)
+	p.park()
+}
+
+func (wg *WaitGroup) release() {
+	for _, w := range wg.waiters {
+		w.wake()
+	}
+	wg.waiters = nil
+}
+
+// Semaphore is a counting semaphore with FIFO waiters.
+type Semaphore struct {
+	avail   int64
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	w *waiter
+	n int64
+}
+
+// NewSemaphore creates a semaphore with n initially available units.
+func NewSemaphore(n int64) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{avail: n}
+}
+
+// Available returns the number of free units.
+func (s *Semaphore) Available() int64 { return s.avail }
+
+// TryAcquire acquires n units if immediately available.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	if n <= s.avail && len(s.waiters) == 0 {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Acquire blocks until n units are available and takes them.
+func (s *Semaphore) Acquire(p *Proc, n int64) {
+	if s.TryAcquire(n) {
+		return
+	}
+	sw := &semWaiter{w: p.prepark(), n: n}
+	s.waiters = append(s.waiters, sw)
+	p.park()
+}
+
+// Release returns n units and wakes eligible waiters in FIFO order.
+func (s *Semaphore) Release(n int64) {
+	s.avail += n
+	for len(s.waiters) > 0 {
+		sw := s.waiters[0]
+		if sw.w.woken {
+			s.waiters = s.waiters[1:]
+			continue
+		}
+		if sw.n > s.avail {
+			return // FIFO: do not starve the head waiter
+		}
+		s.avail -= sw.n
+		s.waiters = s.waiters[1:]
+		sw.w.wake()
+	}
+}
+
+// Cond is a simulated condition variable. Unlike sync.Cond it is not
+// tied to a mutex: since the kernel runs one process at a time, checking
+// the predicate and calling Wait cannot race.
+type Cond struct {
+	waiters []*waiter
+}
+
+// Wait parks the calling process until Signal or Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	w := p.prepark()
+	c.waiters = append(c.waiters, w)
+	p.park()
+}
+
+// WaitTimeout parks until signaled or until d elapses; it reports
+// whether the wait timed out.
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
+	if d <= 0 {
+		return true
+	}
+	w := p.prepark()
+	c.waiters = append(c.waiters, w)
+	fired := false
+	p.k.After(d, func() {
+		if w.wake() {
+			fired = true
+		}
+	})
+	p.park()
+	return fired
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.wake() {
+			return
+		}
+	}
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		if !w.woken {
+			w.wake()
+		}
+	}
+	c.waiters = nil
+}
+
+// Waiters returns the number of registered (possibly already-woken)
+// waiters; mainly useful in tests.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Future is a one-shot value that simulated processes can wait on.
+type Future[T any] struct {
+	set     bool
+	val     T
+	err     error
+	waiters []*waiter
+}
+
+// NewFuture creates an unset future.
+func NewFuture[T any]() *Future[T] { return &Future[T]{} }
+
+// Set resolves the future and wakes all waiters. Setting twice panics.
+func (f *Future[T]) Set(v T, err error) {
+	if f.set {
+		panic("sim: future set twice")
+	}
+	f.set = true
+	f.val, f.err = v, err
+	for _, w := range f.waiters {
+		if !w.woken {
+			w.wake()
+		}
+	}
+	f.waiters = nil
+}
+
+// Ready reports whether the future has been resolved.
+func (f *Future[T]) Ready() bool { return f.set }
+
+// Get blocks until the future resolves and returns its value.
+func (f *Future[T]) Get(p *Proc) (T, error) {
+	if !f.set {
+		w := p.prepark()
+		f.waiters = append(f.waiters, w)
+		p.park()
+	}
+	return f.val, f.err
+}

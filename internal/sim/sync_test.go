@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMutexExclusion(t *testing.T) {
+	k := NewKernel(1)
+	var mu Mutex
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("worker", func(p *Proc) {
+			for j := 0; j < 3; j++ {
+				mu.Lock(p)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				p.Sleep(time.Millisecond)
+				inside--
+				mu.Unlock()
+			}
+		})
+	}
+	k.Run()
+	if maxInside != 1 {
+		t.Errorf("maxInside = %d, want 1 (mutual exclusion violated)", maxInside)
+	}
+}
+
+func TestMutexFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var mu Mutex
+	var order []int
+	k.Spawn("holder", func(p *Proc) {
+		mu.Lock(p)
+		p.Sleep(10 * time.Millisecond)
+		mu.Unlock()
+	})
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) {
+			p.Sleep(time.Duration(i+1) * time.Millisecond)
+			mu.Lock(p)
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	k.Run()
+	for i := 0; i < 4; i++ {
+		if order[i] != i {
+			t.Fatalf("acquisition order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	k := NewKernel(1)
+	var mu Mutex
+	if !mu.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if mu.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	mu.Unlock()
+	if mu.Locked() {
+		t.Fatal("mutex still locked after Unlock")
+	}
+	_ = k
+}
+
+func TestMutexUnlockUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var mu Mutex
+	mu.Unlock()
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel(1)
+	var wg WaitGroup
+	wg.Add(3)
+	var doneAt Time
+	for i := 1; i <= 3; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			wg.Done()
+		})
+	}
+	k.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	k.Run()
+	if doneAt != 3*Millisecond {
+		t.Errorf("Wait returned at %v, want 3ms", doneAt)
+	}
+}
+
+func TestWaitGroupZeroNoBlock(t *testing.T) {
+	k := NewKernel(1)
+	var wg WaitGroup
+	ran := false
+	k.Spawn("w", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("Wait on zero WaitGroup blocked")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var wg WaitGroup
+	wg.Done()
+}
+
+func TestSemaphore(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSemaphore(2)
+	active, maxActive := 0, 0
+	var wg WaitGroup
+	wg.Add(5)
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) {
+			s.Acquire(p, 1)
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			p.Sleep(time.Millisecond)
+			active--
+			s.Release(1)
+			wg.Done()
+		})
+	}
+	k.Run()
+	if maxActive != 2 {
+		t.Errorf("maxActive = %d, want 2", maxActive)
+	}
+	if s.Available() != 2 {
+		t.Errorf("Available() = %d, want 2", s.Available())
+	}
+}
+
+func TestSemaphoreFIFOHeadOfLine(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSemaphore(0)
+	var order []string
+	k.Spawn("big", func(p *Proc) {
+		s.Acquire(p, 3)
+		order = append(order, "big")
+	})
+	k.Spawn("small", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		s.Acquire(p, 1)
+		order = append(order, "small")
+	})
+	k.Spawn("releaser", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		s.Release(3) // big (head) must win even though small fits first
+		p.Sleep(time.Millisecond)
+		s.Release(1)
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Errorf("order = %v, want [big small] (no head-of-line bypass)", order)
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	k := NewKernel(1)
+	var c Cond
+	woken := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	k.Spawn("sig", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		c.Signal()
+		p.Sleep(time.Millisecond)
+		if woken != 1 {
+			t.Errorf("after Signal woken = %d, want 1", woken)
+		}
+		c.Broadcast()
+	})
+	k.Run()
+	if woken != 3 {
+		t.Errorf("woken = %d, want 3", woken)
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	k := NewKernel(1)
+	var c Cond
+	k.Spawn("w", func(p *Proc) {
+		if !c.WaitTimeout(p, 2*time.Millisecond) {
+			t.Error("expected timeout")
+		}
+		if p.Now() != 2*Millisecond {
+			t.Errorf("timed out at %v, want 2ms", p.Now())
+		}
+	})
+	k.Run()
+
+	k2 := NewKernel(1)
+	var c2 Cond
+	k2.Spawn("w", func(p *Proc) {
+		if c2.WaitTimeout(p, 10*time.Millisecond) {
+			t.Error("unexpected timeout")
+		}
+	})
+	k2.Spawn("sig", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		c2.Signal()
+	})
+	k2.Run()
+}
+
+func TestFuture(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[int]()
+	var got int
+	var gotAt Time
+	k.Spawn("waiter", func(p *Proc) {
+		v, err := f.Get(p)
+		if err != nil {
+			t.Errorf("Get error: %v", err)
+		}
+		got, gotAt = v, p.Now()
+	})
+	k.Spawn("setter", func(p *Proc) {
+		p.Sleep(4 * time.Millisecond)
+		f.Set(42, nil)
+	})
+	k.Run()
+	if got != 42 || gotAt != 4*Millisecond {
+		t.Errorf("got %d at %v, want 42 at 4ms", got, gotAt)
+	}
+	if !f.Ready() {
+		t.Error("future not ready after Set")
+	}
+}
+
+func TestFutureGetAfterSet(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFuture[string]()
+	f.Set("done", nil)
+	k.Spawn("w", func(p *Proc) {
+		v, _ := f.Get(p)
+		if v != "done" {
+			t.Errorf("Get = %q, want done", v)
+		}
+	})
+	k.Run()
+}
+
+func TestFutureDoubleSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f := NewFuture[int]()
+	f.Set(1, nil)
+	f.Set(2, nil)
+}
+
+// TestSemaphoreConservationProperty: for arbitrary acquire/release
+// workloads that fit within the semaphore, all units come back.
+func TestSemaphoreConservationProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		k := NewKernel(3)
+		const total = 16
+		s := NewSemaphore(total)
+		var wg WaitGroup
+		for _, raw := range sizes {
+			n := int64(raw%total) + 1
+			wg.Add(1)
+			k.Spawn("w", func(p *Proc) {
+				s.Acquire(p, n)
+				p.Sleep(time.Duration(n) * time.Microsecond)
+				s.Release(n)
+				wg.Done()
+			})
+		}
+		done := false
+		k.Spawn("check", func(p *Proc) {
+			wg.Wait(p)
+			done = true
+		})
+		k.Run()
+		return done && s.Available() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package simnet models the datacenter network that connects simulated
+// machines: per-NIC transmit/receive bandwidth queues, propagation
+// latency, per-message header overhead, and a software RPC layer with a
+// fixed per-call overhead.
+//
+// The model charges exactly the costs that drive Quicksand's results —
+// proclet migration time is dominated by state-bytes/bandwidth, and
+// remote method invocation by latency plus payload-bytes/bandwidth —
+// while staying deterministic under the sim kernel.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// NodeID identifies a machine's network attachment point.
+type NodeID int
+
+// Errors returned by transfers and calls.
+var (
+	ErrNodeDown   = errors.New("simnet: node is down")
+	ErrNoHandler  = errors.New("simnet: no handler registered for method")
+	ErrNoSuchNode = errors.New("simnet: unknown node")
+)
+
+// Config holds the network's performance parameters.
+type Config struct {
+	// Latency is the one-way propagation delay between any two nodes.
+	Latency time.Duration
+	// Bandwidth is each NIC's line rate in bytes per second, applied
+	// independently to the transmit and receive directions.
+	Bandwidth int64
+	// RPCOverhead is the fixed software cost charged per RPC on top of
+	// the wire time (dispatch, marshaling setup).
+	RPCOverhead time.Duration
+	// MsgOverheadBytes is the per-message header cost added to every
+	// transfer's payload size.
+	MsgOverheadBytes int64
+}
+
+// DefaultConfig models a contemporary datacenter fabric: 100 Gb/s NICs,
+// 2 us one-way latency, 1 us RPC software overhead.
+func DefaultConfig() Config {
+	return Config{
+		Latency:          2 * time.Microsecond,
+		Bandwidth:        12_500_000_000, // 100 Gb/s
+		RPCOverhead:      time.Microsecond,
+		MsgOverheadBytes: 64,
+	}
+}
+
+// Message is an RPC payload plus its on-wire size. Payloads are passed
+// by reference (host memory); Bytes is what the network charges for.
+type Message struct {
+	Payload any
+	Bytes   int64
+}
+
+// Handler processes an RPC on the destination node. It runs in its own
+// simulated process and may block (sleep, take locks, call other nodes).
+type Handler func(p *sim.Proc, req Message) (Message, error)
+
+// Node is a machine's attachment to the fabric.
+type Node struct {
+	ID       NodeID
+	f        *Fabric
+	txFree   sim.Time
+	rxFree   sim.Time
+	handlers map[string]Handler
+	down     bool
+
+	// TxBytes and RxBytes count payload+header bytes through this NIC.
+	TxBytes metrics.Counter
+	RxBytes metrics.Counter
+}
+
+// Fabric is the cluster-wide network.
+type Fabric struct {
+	k     *sim.Kernel
+	cfg   Config
+	nodes map[NodeID]*Node
+
+	// TransferLatency records end-to-end transfer times in seconds.
+	TransferLatency *metrics.Histogram
+	// Calls counts completed RPCs.
+	Calls metrics.Counter
+}
+
+// New creates a fabric on the given kernel.
+func New(k *sim.Kernel, cfg Config) *Fabric {
+	if cfg.Bandwidth <= 0 {
+		panic("simnet: bandwidth must be positive")
+	}
+	return &Fabric{
+		k:               k,
+		cfg:             cfg,
+		nodes:           make(map[NodeID]*Node),
+		TransferLatency: metrics.NewHistogram("simnet.transfer_latency"),
+	}
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// AddNode attaches a new node. Adding a duplicate ID panics.
+func (f *Fabric) AddNode(id NodeID) *Node {
+	if _, ok := f.nodes[id]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %d", id))
+	}
+	n := &Node{ID: id, f: f, handlers: make(map[string]Handler)}
+	f.nodes[id] = n
+	return n
+}
+
+// Node returns the node with the given ID, or nil.
+func (f *Fabric) Node(id NodeID) *Node { return f.nodes[id] }
+
+// SetDown marks a node as unreachable (true) or reachable (false).
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// Down reports whether the node is unreachable.
+func (n *Node) Down() bool { return n.down }
+
+// Handle registers an RPC handler for method on this node.
+func (n *Node) Handle(method string, h Handler) {
+	if _, dup := n.handlers[method]; dup {
+		panic(fmt.Sprintf("simnet: duplicate handler %q on node %d", method, n.ID))
+	}
+	n.handlers[method] = h
+}
+
+// wireTime returns how long size payload bytes occupy a NIC direction.
+func (f *Fabric) wireTime(size int64) time.Duration {
+	total := size + f.cfg.MsgOverheadBytes
+	return time.Duration(float64(total) / float64(f.cfg.Bandwidth) * 1e9)
+}
+
+// deliveryTime reserves NIC time on both ends and returns the absolute
+// virtual time at which a transfer of size bytes from -> to completes.
+func (f *Fabric) deliveryTime(from, to *Node, size int64) sim.Time {
+	now := f.k.Now()
+	dur := f.wireTime(size)
+
+	txStart := now
+	if from.txFree > txStart {
+		txStart = from.txFree
+	}
+	txEnd := txStart.Add(dur)
+	from.txFree = txEnd
+
+	rxStart := txStart.Add(f.cfg.Latency)
+	if to.rxFree > rxStart {
+		rxStart = to.rxFree
+	}
+	rxEnd := rxStart.Add(dur)
+	to.rxFree = rxEnd
+
+	from.TxBytes.Addn(size + f.cfg.MsgOverheadBytes)
+	to.RxBytes.Addn(size + f.cfg.MsgOverheadBytes)
+	return rxEnd
+}
+
+// checkPath validates both endpoints, returning the node structs.
+func (f *Fabric) checkPath(from, to NodeID) (*Node, *Node, error) {
+	src, ok := f.nodes[from]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrNoSuchNode, from)
+	}
+	dst, ok := f.nodes[to]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrNoSuchNode, to)
+	}
+	if src.down {
+		return nil, nil, fmt.Errorf("%w: source %d", ErrNodeDown, from)
+	}
+	if dst.down {
+		return nil, nil, fmt.Errorf("%w: destination %d", ErrNodeDown, to)
+	}
+	return src, dst, nil
+}
+
+// Transfer moves size bytes from one node to another, blocking the
+// calling process until delivery. Transfers between a node and itself
+// complete immediately (no wire cost).
+func (f *Fabric) Transfer(p *sim.Proc, from, to NodeID, size int64) error {
+	src, dst, err := f.checkPath(from, to)
+	if err != nil {
+		return err
+	}
+	if from == to {
+		return nil
+	}
+	start := f.k.Now()
+	done := f.deliveryTime(src, dst, size)
+	p.SleepUntil(done)
+	f.TransferLatency.ObserveDuration(f.k.Now().Sub(start))
+	return nil
+}
+
+// TransferAsync schedules onDelivered to run when the transfer lands.
+// For same-node transfers the callback runs at the current instant.
+func (f *Fabric) TransferAsync(from, to NodeID, size int64, onDelivered func()) error {
+	src, dst, err := f.checkPath(from, to)
+	if err != nil {
+		return err
+	}
+	if from == to {
+		f.k.Schedule(f.k.Now(), onDelivered)
+		return nil
+	}
+	done := f.deliveryTime(src, dst, size)
+	f.k.Schedule(done, onDelivered)
+	return nil
+}
+
+// Call performs a synchronous RPC: the request payload travels the wire,
+// the handler runs on the destination node in its own process, and the
+// reply travels back. The calling process blocks for the round trip.
+func (f *Fabric) Call(p *sim.Proc, from, to NodeID, method string, req Message) (Message, error) {
+	_, dst, err := f.checkPath(from, to)
+	if err != nil {
+		return Message{}, err
+	}
+	h, ok := dst.handlers[method]
+	if !ok {
+		return Message{}, fmt.Errorf("%w: %q on node %d", ErrNoHandler, method, to)
+	}
+
+	// Fixed software overhead on the caller side.
+	p.Sleep(f.cfg.RPCOverhead)
+
+	fut := sim.NewFuture[Message]()
+	runHandler := func() {
+		f.k.Spawn(fmt.Sprintf("rpc:%s@%d", method, to), func(hp *sim.Proc) {
+			reply, herr := h(hp, req)
+			if herr != nil {
+				fut.Set(Message{}, herr)
+				return
+			}
+			if from == to {
+				fut.Set(reply, nil)
+				return
+			}
+			if terr := f.TransferAsync(to, from, reply.Bytes, func() { fut.Set(reply, nil) }); terr != nil {
+				fut.Set(Message{}, terr)
+			}
+		})
+	}
+
+	if from == to {
+		f.k.Schedule(f.k.Now(), runHandler)
+	} else if terr := f.TransferAsync(from, to, req.Bytes, runHandler); terr != nil {
+		return Message{}, terr
+	}
+
+	reply, err := fut.Get(p)
+	if err != nil {
+		return Message{}, err
+	}
+	f.Calls.Inc()
+	return reply, nil
+}

@@ -1,0 +1,122 @@
+// Package trace records structured runtime events — placements,
+// migrations, splits, merges — so experiments and tools can reconstruct
+// what the Quicksand control plane did and when.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a control-plane event.
+type Kind string
+
+// Event kinds emitted by the runtime and scheduler.
+const (
+	KindSpawn     Kind = "spawn"
+	KindDestroy   Kind = "destroy"
+	KindMigrate   Kind = "migrate"
+	KindSplit     Kind = "split"
+	KindMerge     Kind = "merge"
+	KindPlace     Kind = "place"
+	KindPressure  Kind = "pressure"
+	KindRebalance Kind = "rebalance"
+)
+
+// Event is one control-plane occurrence. From/To are machine IDs (as
+// ints to avoid layering on the cluster package); -1 means not
+// applicable.
+type Event struct {
+	At      sim.Time
+	Kind    Kind
+	Subject string // proclet or resource name
+	From    int
+	To      int
+	Detail  string
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v %-9s %-24s", e.At, e.Kind, e.Subject)
+	if e.From >= 0 || e.To >= 0 {
+		fmt.Fprintf(&b, " %d->%d", e.From, e.To)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Log is an append-only event log. A nil *Log is valid and discards
+// events, so instrumented code never needs nil checks.
+type Log struct {
+	events []Event
+}
+
+// New creates an empty log.
+func New() *Log { return &Log{} }
+
+// Emit appends an event. No-op on a nil log.
+func (l *Log) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Emitf is shorthand for Emit with a formatted detail string.
+func (l *Log) Emitf(at sim.Time, kind Kind, subject string, from, to int, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{At: at, Kind: kind, Subject: subject, From: from, To: to,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns all events in emission order (not a copy).
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events of the given kind, in order.
+func (l *Log) Filter(kind Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of the given kind were recorded.
+func (l *Log) Count(kind Kind) int { return len(l.Filter(kind)) }
+
+// String renders the whole log, one event per line.
+func (l *Log) String() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

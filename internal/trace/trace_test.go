@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmitAndFilter(t *testing.T) {
+	l := New()
+	l.Emit(Event{At: 10, Kind: KindSpawn, Subject: "mem-1", To: 0, From: -1})
+	l.Emitf(20, KindMigrate, "mem-1", 0, 1, "bytes=%d", 1024)
+	l.Emit(Event{At: 30, Kind: KindSplit, Subject: "mem-1", From: -1, To: -1})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	migs := l.Filter(KindMigrate)
+	if len(migs) != 1 || migs[0].Detail != "bytes=1024" {
+		t.Errorf("Filter(migrate) = %+v", migs)
+	}
+	if l.Count(KindSplit) != 1 || l.Count(KindMerge) != 0 {
+		t.Error("Count wrong")
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Emit(Event{Kind: KindSpawn})
+	l.Emitf(0, KindMigrate, "x", 0, 1, "d")
+	if l.Len() != 0 || l.Events() != nil || l.Filter(KindSpawn) != nil || l.String() != "" {
+		t.Error("nil log must discard everything")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1500, Kind: KindMigrate, Subject: "compute-3", From: 0, To: 2, Detail: "10MiB"}
+	s := e.String()
+	for _, want := range []string{"migrate", "compute-3", "0->2", "10MiB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// From/To omitted when both -1.
+	e2 := Event{At: 1, Kind: KindSplit, Subject: "s", From: -1, To: -1}
+	if strings.Contains(e2.String(), "->") {
+		t.Errorf("String() = %q should omit arrow", e2.String())
+	}
+}
+
+func TestLogString(t *testing.T) {
+	l := New()
+	l.Emitf(1, KindSpawn, "a", -1, 0, "")
+	l.Emitf(2, KindDestroy, "a", 0, -1, "")
+	out := l.String()
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Errorf("log dump = %q, want 2 lines", out)
+	}
+}
