@@ -33,6 +33,7 @@ func benchSystem() *core.System {
 // BenchmarkFig1FillerMigration regenerates Figure 1: the filler
 // application migrating across machines every 10 ms.
 func BenchmarkFig1FillerMigration(b *testing.B) {
+	b.ReportAllocs()
 	var goodput float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run("fig1", experiments.TestScale)
@@ -47,6 +48,7 @@ func BenchmarkFig1FillerMigration(b *testing.B) {
 // BenchmarkFig2Imbalance regenerates Figure 2: preprocessing-time
 // parity across imbalanced machine splits.
 func BenchmarkFig2Imbalance(b *testing.B) {
+	b.ReportAllocs()
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run("fig2", experiments.TestScale)
@@ -66,6 +68,7 @@ func BenchmarkFig2Imbalance(b *testing.B) {
 // BenchmarkFig3Adaptation regenerates Figure 3: compute proclets
 // tracking 4<->8 GPU swings.
 func BenchmarkFig3Adaptation(b *testing.B) {
+	b.ReportAllocs()
 	var react float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run("fig3", experiments.TestScale)
@@ -81,6 +84,7 @@ func BenchmarkFig3Adaptation(b *testing.B) {
 
 func benchAblation(b *testing.B, id, metric, unit string) {
 	b.Helper()
+	b.ReportAllocs()
 	var v float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run(id, experiments.TestScale)
@@ -93,22 +97,27 @@ func benchAblation(b *testing.B, id, metric, unit string) {
 }
 
 func BenchmarkAblMigrationSweep(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, "abl-migration", "latency_ms.10485760", "mig10MiB_ms")
 }
 
 func BenchmarkAblSplitSweep(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, "abl-split", "split_ms.1048576", "split1MiB_ms")
 }
 
 func BenchmarkAblPrefetch(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, "abl-prefetch", "speedup", "prefetch_speedup_x")
 }
 
 func BenchmarkAblSched(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, "abl-sched", "global-only.goodput_pct", "globalonly_goodput_%")
 }
 
 func BenchmarkAblLocality(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, "abl-locality", "speedup", "colocation_speedup_x")
 }
 
@@ -117,6 +126,7 @@ func BenchmarkAblLocality(b *testing.B) {
 // BenchmarkKernelEventThroughput measures raw simulator event
 // processing (host events per host second).
 func BenchmarkKernelEventThroughput(b *testing.B) {
+	b.ReportAllocs()
 	k := sim.NewKernel(1)
 	n := 0
 	var tick func()
@@ -131,8 +141,46 @@ func BenchmarkKernelEventThroughput(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkKernelScheduleStep measures the schedule/dispatch cycle
+// through both queue paths: two same-instant events (FIFO fast path)
+// plus one future event (binary heap).
+func BenchmarkKernelScheduleStep(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel(1)
+	noop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(k.Now(), noop)
+		k.Schedule(k.Now(), noop)
+		k.After(time.Microsecond, noop)
+		for k.Step() {
+		}
+	}
+}
+
+// BenchmarkMachineSubmitChurn measures the processor-sharing machine
+// under task churn: submits, a rate change, a cancellation, and
+// completion retirement per iteration.
+func BenchmarkMachineSubmitChurn(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel(1)
+	m := cluster.NewMachine(k, 0, "m", cluster.MachineConfig{Cores: 4})
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var last *cluster.Task
+		for j := 0; j < 8; j++ {
+			last = m.Submit(100 * time.Microsecond)
+		}
+		m.SetReserved(float64(n % 4))
+		k.RunUntil(k.Now().Add(150 * time.Microsecond))
+		last.Cancel()
+		k.RunUntil(k.Now().Add(time.Millisecond))
+	}
+}
+
 // BenchmarkLocalInvoke measures same-machine proclet method dispatch.
 func BenchmarkLocalInvoke(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	pr, err := sys.Runtime.Spawn("svc", 0, 1024)
 	if err != nil {
@@ -155,6 +203,7 @@ func BenchmarkLocalInvoke(b *testing.B) {
 
 // BenchmarkRemoteInvoke measures cross-machine proclet RPC.
 func BenchmarkRemoteInvoke(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	pr, err := sys.Runtime.Spawn("svc", 1, 1024)
 	if err != nil {
@@ -179,6 +228,7 @@ func BenchmarkRemoteInvoke(b *testing.B) {
 // machines, reporting the virtual migration latency alongside host
 // cost.
 func BenchmarkProcletMigration(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	pr, err := sys.Runtime.Spawn("migrant", 0, 64<<10)
 	if err != nil {
@@ -200,6 +250,7 @@ func BenchmarkProcletMigration(b *testing.B) {
 // BenchmarkShardedMapPut measures sharded map writes including the
 // amortized cost of splits.
 func BenchmarkShardedMapPut(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	m, err := sharded.NewMap[int, int](sys, "bench", sharded.Options{MaxShardBytes: 1 << 20})
 	if err != nil {
@@ -221,6 +272,7 @@ func BenchmarkShardedMapPut(b *testing.B) {
 // BenchmarkShardedQueuePushPop measures the producer/consumer path
 // through a sharded queue.
 func BenchmarkShardedQueuePushPop(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	q, err := sharded.NewQueue[int](sys, "bench", sharded.Options{MaxShardBytes: 1 << 20})
 	if err != nil {
@@ -249,6 +301,7 @@ func BenchmarkShardedQueuePushPop(b *testing.B) {
 // BenchmarkVectorIterPrefetch measures streaming a sharded vector with
 // prefetch enabled.
 func BenchmarkVectorIterPrefetch(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	v, err := sharded.NewVector[int](sys, "bench", sharded.Options{MaxShardBytes: 4 << 20})
 	if err != nil {
@@ -286,6 +339,7 @@ func BenchmarkVectorIterPrefetch(b *testing.B) {
 // BenchmarkExtGPUReclaim regenerates the GPU-proclet extension: spot
 // reclamations survived by device-state migration.
 func BenchmarkExtGPUReclaim(b *testing.B) {
+	b.ReportAllocs()
 	var pct float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run("ext-gpu", experiments.TestScale)
@@ -299,6 +353,7 @@ func BenchmarkExtGPUReclaim(b *testing.B) {
 
 // BenchmarkExtHarvest regenerates fleet-wide idle harvesting.
 func BenchmarkExtHarvest(b *testing.B) {
+	b.ReportAllocs()
 	var pct float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run("ext-harvest", experiments.TestScale)
@@ -313,6 +368,7 @@ func BenchmarkExtHarvest(b *testing.B) {
 // BenchmarkGPUStep measures one training step (batch upload + kernel)
 // through the GPU proclet path.
 func BenchmarkGPUStep(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	m := sys.Cluster.Machine(0)
 	m.AddGPUs(cluster.GPUConfig{Count: 1, MemBytes: 16 << 30, LinkBandwidth: 16_000_000_000})

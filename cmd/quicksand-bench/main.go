@@ -2,26 +2,41 @@
 //
 // Usage:
 //
-//	quicksand-bench [-scale full|test] [experiment ...]
+//	quicksand-bench [-scale full|test] [-par N] [experiment ...]
 //	quicksand-bench -list
 //
 // With no experiment arguments it runs the whole suite. Experiment IDs
 // and what they reproduce are described in DESIGN.md's experiment
 // index; `-list` prints them.
+//
+// -par N bounds the host workers used to run experiments (and the
+// independent configurations inside each experiment) concurrently;
+// 0 means one worker per host core. Every simulation runs on its own
+// deterministic kernel and results are always printed in request
+// order, so the output is identical at any -par value.
+//
+// -cpuprofile / -memprofile write pprof profiles of the run for
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/runpar"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "full", "experiment scale: full (paper) or test (CI)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csv := flag.Bool("csv", false, "emit plot-ready CSV time series instead of tables (fig1/fig3)")
+	par := flag.Int("par", 0, "max concurrent host workers for experiments (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	flag.Parse()
 
 	if *list {
@@ -42,26 +57,72 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *memprofile != "" {
+		// Match `go test -memprofile`: sample every 4 KiB allocated
+		// instead of the 512 KiB default, so short runs yield a usable
+		// allocation profile. Must be set before the first allocation
+		// of interest.
+		runtime.MemProfileRate = 4096
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicksand-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "quicksand-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	experiments.SetParallelism(*par)
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = experiments.List()
 	}
+
+	// Run experiments concurrently but print strictly in request order.
+	type outcome struct {
+		res *experiments.Result
+		err error
+	}
+	outs := runpar.Map(len(ids), *par, func(i int) outcome {
+		res, err := experiments.Run(ids[i], scale)
+		return outcome{res, err}
+	})
+
 	failed := false
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Println()
 		}
-		res, err := experiments.Run(id, scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "quicksand-bench: %s: %v\n", id, err)
+		if outs[i].err != nil {
+			fmt.Fprintf(os.Stderr, "quicksand-bench: %s: %v\n", id, outs[i].err)
 			failed = true
 			continue
 		}
 		if *csv {
-			res.WriteCSV(os.Stdout)
+			outs[i].res.WriteCSV(os.Stdout)
 			continue
 		}
-		res.Print(os.Stdout)
+		outs[i].res.Print(os.Stdout)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quicksand-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "quicksand-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	if failed {
 		os.Exit(1)

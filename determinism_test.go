@@ -1,0 +1,98 @@
+package quicksand
+
+// Determinism regression test: every optimization to the simulation
+// data plane (event queue, processor-sharing model, parallel runners)
+// must preserve the property that one seed produces exactly one
+// behaviour. This runs fig1 at TestScale repeatedly and requires
+// byte-identical output rows, identical machine-readable values,
+// identical control-plane trace sequences, and identical kernel event
+// counts.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func fig1Snapshot(t *testing.T) *experiments.Result {
+	t.Helper()
+	res, err := experiments.Run("fig1", experiments.TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// compareResults asserts two fig1 results are identical in every
+// observable: event counts, values, rendered lines, trace sequence,
+// and plot series.
+func compareResults(t *testing.T, label string, a, b *experiments.Result) {
+	t.Helper()
+	if a.EventsProcessed != b.EventsProcessed {
+		t.Fatalf("%s: EventsProcessed %d vs %d", label, a.EventsProcessed, b.EventsProcessed)
+	}
+	if len(a.Values) != len(b.Values) {
+		t.Fatalf("%s: %d values vs %d", label, len(a.Values), len(b.Values))
+	}
+	for k, v := range a.Values {
+		if bv, ok := b.Values[k]; !ok || bv != v {
+			t.Errorf("%s: value %q = %v vs %v", label, k, v, bv)
+		}
+	}
+	if len(a.Lines) != len(b.Lines) {
+		t.Fatalf("%s: %d lines vs %d", label, len(a.Lines), len(b.Lines))
+	}
+	for i := range a.Lines {
+		if a.Lines[i] != b.Lines[i] {
+			t.Errorf("%s: line %d differs:\n  %s\n  %s", label, i, a.Lines[i], b.Lines[i])
+		}
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("%s: trace length %d vs %d", label, len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("%s: trace diverges at event %d:\n  %s\n  %s", label, i, a.Trace[i], b.Trace[i])
+		}
+	}
+	// Series must match sample-for-sample as well.
+	for name, s := range a.Series {
+		bs := b.Series[name]
+		if len(bs) != len(s) {
+			t.Fatalf("%s: series %q length %d vs %d", label, name, len(s), len(bs))
+		}
+		for i := range s {
+			if s[i] != bs[i] {
+				t.Errorf("%s: series %q[%d] = %v vs %v", label, name, i, s[i], bs[i])
+			}
+		}
+	}
+}
+
+func TestFig1Deterministic(t *testing.T) {
+	a := fig1Snapshot(t)
+	if a.EventsProcessed == 0 {
+		t.Fatal("fig1 did not report kernel event counts")
+	}
+	if len(a.Trace) == 0 {
+		t.Fatal("fig1 did not capture a control-plane trace")
+	}
+	for rep := 0; rep < 2; rep++ {
+		compareResults(t, fmt.Sprintf("rep %d", rep), a, fig1Snapshot(t))
+	}
+}
+
+// TestFig1DeterministicParallel requires the parallel experiment
+// runner (-par > 1) to produce output identical to a sequential run:
+// each mode's simulation lives on its own kernel and results merge by
+// configuration index, never completion order.
+func TestFig1DeterministicParallel(t *testing.T) {
+	experiments.SetParallelism(1)
+	seq := fig1Snapshot(t)
+	for _, par := range []int{2, 4} {
+		experiments.SetParallelism(par)
+		compareResults(t, fmt.Sprintf("par %d", par), seq, fig1Snapshot(t))
+	}
+	experiments.SetParallelism(0)
+}

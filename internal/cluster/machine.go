@@ -8,6 +8,14 @@
 // such as Figure 1's latency-critical antagonist — are modeled as core
 // *reservations* that modulate the capacity available to everything
 // else, which is exactly how they affect a best-effort filler.
+//
+// The processor-sharing state uses the classic virtual-service-time
+// formulation: because every resident task accrues service at the same
+// instantaneous rate, the machine keeps one global attained-service
+// accumulator A(t) = ∫rate·dt and each task records its finish point
+// A(t₀) + work at submit. Settling elapsed time is O(1) instead of a
+// walk over every task, and the next completion is the minimum finish
+// point, tracked by an indexed min-heap.
 package cluster
 
 import (
@@ -38,10 +46,15 @@ type MachineConfig struct {
 // completion or are canceled (for example when their proclet migrates
 // and the remaining work should move to another machine).
 type Task struct {
-	m         *Machine
-	id        int64
-	remaining float64 // core-nanoseconds of work left
-	done      *sim.Cond
+	m  *Machine
+	id int64
+	// vfinish is the machine attained-service value at which this task
+	// completes: attained-at-submit + work. Remaining work at any
+	// instant is vfinish - m.attained, computed lazily.
+	vfinish   float64
+	remaining float64 // core-nanoseconds left, settled at finish/cancel
+	heapIdx   int     // position in m.taskHeap; -1 once retired
+	done      sim.Cond
 	finished  bool
 	canceled  bool
 }
@@ -79,7 +92,8 @@ func (t *Task) Cancel() {
 	}
 	m := t.m
 	m.settle()
-	delete(m.tasks, t.id)
+	t.remaining = t.vfinish - m.attained
+	m.heapRemove(t.heapIdx)
 	t.finished = true
 	t.canceled = true
 	t.done.Broadcast()
@@ -96,11 +110,24 @@ type Machine struct {
 	cfg MachineConfig
 
 	// CPU processor-sharing state.
-	tasks      map[int64]*Task
+	taskHeap   []*Task  // indexed min-heap on (vfinish, id)
+	attained   float64  // A(t): per-task service accrued since creation, ns
 	nextTaskID int64
 	reserved   float64  // cores taken by high-priority work
-	lastSettle sim.Time // last time remaining-work was settled
+	lastSettle sim.Time // last time attained service was settled
 	gen        uint64   // invalidates stale completion events
+
+	// completeFn is the machine's single long-lived completion callback;
+	// reschedule arms it with the generation as the event tag, so
+	// re-arming allocates nothing.
+	completeFn func(gen uint64)
+
+	// taskSlab block-allocates Task structs so high-churn workloads pay
+	// one allocation per slabSize submissions instead of one each. Slots
+	// are never recycled: a retired Task stays valid (Remaining, Wait,
+	// Cancel are all legal on finished tasks) and its slab block is
+	// garbage-collected once every task in it is unreachable.
+	taskSlab []Task
 
 	memUsed int64
 
@@ -128,13 +155,19 @@ func NewMachine(k *sim.Kernel, id MachineID, name string, cfg MachineConfig) *Ma
 	if cfg.MemBytes < 0 {
 		panic("cluster: negative memory capacity")
 	}
-	return &Machine{
-		ID:    id,
-		Name:  name,
-		k:     k,
-		cfg:   cfg,
-		tasks: make(map[int64]*Task),
+	m := &Machine{
+		ID:   id,
+		Name: name,
+		k:    k,
+		cfg:  cfg,
 	}
+	m.completeFn = func(gen uint64) {
+		if gen != m.gen {
+			return
+		}
+		m.completeFinished()
+	}
+	return m
 }
 
 // Config returns the machine's static configuration.
@@ -175,11 +208,11 @@ func (m *Machine) Reserved() float64 { return m.reserved }
 
 // Runnable returns the number of tasks currently executing or waiting
 // for CPU share.
-func (m *Machine) Runnable() int { return len(m.tasks) }
+func (m *Machine) Runnable() int { return len(m.taskHeap) }
 
 // perTaskRate returns the core share each task currently receives.
 func (m *Machine) perTaskRate() float64 {
-	n := len(m.tasks)
+	n := len(m.taskHeap)
 	if n == 0 {
 		return 0
 	}
@@ -192,7 +225,7 @@ func (m *Machine) perTaskRate() float64 {
 
 // BusyCores returns cores currently in use, counting reservations.
 func (m *Machine) BusyCores() float64 {
-	return math.Min(m.reserved, m.cfg.Cores) + m.perTaskRate()*float64(len(m.tasks))
+	return math.Min(m.reserved, m.cfg.Cores) + m.perTaskRate()*float64(len(m.taskHeap))
 }
 
 // Utilization returns BusyCores as a fraction of total cores.
@@ -203,7 +236,7 @@ func (m *Machine) Utilization() float64 { return m.BusyCores() / m.cfg.Cores }
 // Values above 1 mean tasks are receiving less than a full core each;
 // +Inf means work is queued against zero capacity.
 func (m *Machine) CPUPressure() float64 {
-	n := float64(len(m.tasks))
+	n := float64(len(m.taskHeap))
 	if n == 0 {
 		return 0
 	}
@@ -214,8 +247,82 @@ func (m *Machine) CPUPressure() float64 {
 	return n / avail
 }
 
-// settle charges elapsed virtual time against every task's remaining
-// work at the rate that has been in effect since the last settle.
+// ---- indexed min-heap on (vfinish, id) ----
+
+// taskLess orders resident tasks by finish point, breaking ties by
+// submission order so simultaneous completions retire deterministically.
+func taskLess(a, b *Task) bool {
+	if a.vfinish != b.vfinish {
+		return a.vfinish < b.vfinish
+	}
+	return a.id < b.id
+}
+
+func (m *Machine) heapPush(t *Task) {
+	t.heapIdx = len(m.taskHeap)
+	m.taskHeap = append(m.taskHeap, t)
+	m.siftUp(t.heapIdx)
+}
+
+// heapRemove deletes the task at index i, keeping the heap ordered.
+func (m *Machine) heapRemove(i int) {
+	h := m.taskHeap
+	n := len(h) - 1
+	t := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].heapIdx = i
+	}
+	h[n] = nil
+	m.taskHeap = h[:n]
+	if i < n {
+		if !m.siftDown(i) {
+			m.siftUp(i)
+		}
+	}
+	t.heapIdx = -1
+}
+
+func (m *Machine) siftUp(i int) {
+	h := m.taskHeap
+	for i > 0 {
+		p := (i - 1) / 2
+		if !taskLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		h[i].heapIdx, h[p].heapIdx = i, p
+		i = p
+	}
+}
+
+// siftDown restores heap order below i; it reports whether i moved.
+func (m *Machine) siftDown(i int) bool {
+	h := m.taskHeap
+	n := len(h)
+	i0 := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && taskLess(h[r], h[l]) {
+			c = r
+		}
+		if !taskLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		h[i].heapIdx, h[c].heapIdx = i, c
+		i = c
+	}
+	return i > i0
+}
+
+// settle advances the attained-service accumulator by the rate that has
+// been in effect since the last settle. O(1): individual task balances
+// are derived lazily from the accumulator.
 func (m *Machine) settle() {
 	now := m.k.Now()
 	if now == m.lastSettle {
@@ -224,10 +331,8 @@ func (m *Machine) settle() {
 	elapsed := float64(now - m.lastSettle)
 	rate := m.perTaskRate()
 	if rate > 0 {
-		for _, t := range m.tasks {
-			t.remaining -= elapsed * rate
-		}
-		m.CoreSeconds += elapsed * rate * float64(len(m.tasks)) / 1e9
+		m.attained += elapsed * rate
+		m.CoreSeconds += elapsed * rate * float64(len(m.taskHeap)) / 1e9
 	}
 	m.lastSettle = now
 }
@@ -237,40 +342,36 @@ func (m *Machine) settle() {
 func (m *Machine) reschedule() {
 	m.gen++
 	rate := m.perTaskRate()
-	if rate <= 0 || len(m.tasks) == 0 {
+	if rate <= 0 || len(m.taskHeap) == 0 {
 		return
 	}
-	minRem := math.Inf(1)
-	for _, t := range m.tasks {
-		if t.remaining < minRem {
-			minRem = t.remaining
-		}
-	}
+	minRem := m.taskHeap[0].vfinish - m.attained
 	if minRem < 0 {
 		minRem = 0
 	}
 	dt := time.Duration(math.Ceil(minRem / rate))
-	gen := m.gen
-	m.k.After(dt, func() {
-		if gen != m.gen {
-			return
-		}
-		m.completeFinished()
-	})
+	m.k.AfterTagged(dt, m.completeFn, m.gen)
 }
 
-// completeFinished settles and retires every task whose work is done.
+// completeFinished settles and retires every task whose work is done,
+// in deterministic (finish point, submission) order.
 func (m *Machine) completeFinished() {
 	m.settle()
 	const eps = 0.5 // sub-nanosecond residue from float math
-	for id, t := range m.tasks {
-		if t.remaining <= eps {
-			delete(m.tasks, id)
-			t.finished = true
-			t.done.Broadcast()
-		}
+	for len(m.taskHeap) > 0 && m.taskHeap[0].vfinish-m.attained <= eps {
+		t := m.taskHeap[0]
+		m.heapRemove(0)
+		t.remaining = t.vfinish - m.attained
+		t.finished = true
+		t.done.Broadcast()
 	}
 	m.recordUtil()
+	if len(m.taskHeap) == 0 {
+		// Nothing left to complete: the event that brought us here was
+		// the only live generation, so there is no stale completion to
+		// invalidate and nothing to re-arm.
+		return
+	}
 	m.reschedule()
 }
 
@@ -289,13 +390,16 @@ func (m *Machine) Submit(work time.Duration) *Task {
 	}
 	m.settle()
 	m.nextTaskID++
-	t := &Task{
-		m:         m,
-		id:        m.nextTaskID,
-		remaining: float64(work),
-		done:      &sim.Cond{},
+	const slabSize = 64
+	if len(m.taskSlab) == 0 {
+		m.taskSlab = make([]Task, slabSize)
 	}
-	m.tasks[t.id] = t
+	t := &m.taskSlab[0]
+	m.taskSlab = m.taskSlab[1:]
+	t.m = m
+	t.id = m.nextTaskID
+	t.vfinish = m.attained + float64(work)
+	m.heapPush(t)
 	m.recordUtil()
 	m.reschedule()
 	return t

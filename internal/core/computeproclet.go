@@ -50,7 +50,11 @@ type ComputeProclet struct {
 	pr   *proclet.Proclet
 	pool *Pool // nil for standalone proclets
 
+	// queue[qHead:] holds pending tasks; popping advances qHead so the
+	// backing array's capacity is reused across drain cycles instead of
+	// being abandoned by reslicing from the front.
 	queue    []TaskFn
+	qHead    int
 	qCond    sim.Cond
 	workers  int
 	running  int // tasks currently executing
@@ -90,27 +94,48 @@ func (s *System) NewComputeProclet(name string, workers int) (*ComputeProclet, e
 }
 
 func (cp *ComputeProclet) workerLoop(t *proclet.Thread) {
+	// One TaskCtx per worker thread: both fields are invariant for the
+	// thread's lifetime, so handing every task the same context avoids a
+	// heap allocation per task.
+	ctx := TaskCtx{thread: t, cp: cp}
 	for {
-		for len(cp.queue) == 0 && !cp.stopping {
+		for cp.QueueLen() == 0 && !cp.stopping {
 			// Idle worker: steal from a pool sibling before parking.
 			if cp.pool != nil && cp.pool.stealFor(cp) {
 				break
 			}
 			cp.qCond.Wait(t.Proc())
 		}
-		if len(cp.queue) == 0 && cp.stopping {
+		if cp.QueueLen() == 0 && cp.stopping {
 			return
 		}
-		fn := cp.queue[0]
-		cp.queue = cp.queue[1:]
+		fn := cp.popFront()
 		cp.running++
-		fn(&TaskCtx{thread: t, cp: cp})
+		fn(&ctx)
 		cp.running--
 		cp.executed++
-		if cp.running == 0 && len(cp.queue) == 0 {
+		if cp.running == 0 && cp.QueueLen() == 0 {
 			cp.idle.Broadcast()
 		}
 	}
+}
+
+// popFront removes and returns the oldest pending task. The drained
+// prefix is reused once the queue empties (or compacted when it grows
+// large), keeping steady-state enqueueing allocation-free.
+func (cp *ComputeProclet) popFront() TaskFn {
+	fn := cp.queue[cp.qHead]
+	cp.queue[cp.qHead] = nil // release the closure for GC
+	cp.qHead++
+	if cp.qHead == len(cp.queue) {
+		cp.queue = cp.queue[:0]
+		cp.qHead = 0
+	} else if cp.qHead >= 1024 && cp.qHead*2 >= len(cp.queue) {
+		n := copy(cp.queue, cp.queue[cp.qHead:])
+		cp.queue = cp.queue[:n]
+		cp.qHead = 0
+	}
+	return fn
 }
 
 // Run enqueues a task (§3.1's Run(lambda)). Safe to call from kernel
@@ -139,7 +164,7 @@ func (cp *ComputeProclet) ID() proclet.ID { return cp.pr.ID() }
 func (cp *ComputeProclet) Location() cluster.MachineID { return cp.pr.Location() }
 
 // QueueLen returns pending (not yet started) tasks.
-func (cp *ComputeProclet) QueueLen() int { return len(cp.queue) }
+func (cp *ComputeProclet) QueueLen() int { return len(cp.queue) - cp.qHead }
 
 // Running returns tasks currently executing.
 func (cp *ComputeProclet) Running() int { return cp.running }
@@ -153,7 +178,7 @@ func (cp *ComputeProclet) Workers() int { return cp.workers }
 // Demand reports the proclet's CPU demand in cores for the scheduler:
 // the number of workers that have work to do.
 func (cp *ComputeProclet) Demand() float64 {
-	want := cp.running + len(cp.queue)
+	want := cp.running + cp.QueueLen()
 	if want > cp.workers {
 		want = cp.workers
 	}
@@ -162,7 +187,7 @@ func (cp *ComputeProclet) Demand() float64 {
 
 // WaitIdle blocks until the proclet has no queued or running tasks.
 func (cp *ComputeProclet) WaitIdle(p *sim.Proc) {
-	for len(cp.queue) > 0 || cp.running > 0 {
+	for cp.QueueLen() > 0 || cp.running > 0 {
 		cp.idle.Wait(p)
 	}
 }
@@ -170,7 +195,7 @@ func (cp *ComputeProclet) WaitIdle(p *sim.Proc) {
 // stealHalf removes the back half of the pending queue (the newest
 // tasks) and returns it; used when splitting.
 func (cp *ComputeProclet) stealHalf() []TaskFn {
-	n := len(cp.queue) / 2
+	n := cp.QueueLen() / 2
 	if n == 0 {
 		return nil
 	}
@@ -182,15 +207,15 @@ func (cp *ComputeProclet) stealHalf() []TaskFn {
 
 // drainAll removes and returns the entire pending queue (merging).
 func (cp *ComputeProclet) drainAll() []TaskFn {
-	q := cp.queue
-	cp.queue = nil
+	q := cp.queue[cp.qHead:]
+	cp.queue, cp.qHead = nil, 0
 	return q
 }
 
 // shutdown drains running work and destroys the proclet. Pending tasks
 // must already have been moved elsewhere.
 func (cp *ComputeProclet) shutdown(p *sim.Proc) error {
-	if len(cp.queue) > 0 {
+	if cp.QueueLen() > 0 {
 		panic("core: shutdown with pending tasks")
 	}
 	cp.stopping = true

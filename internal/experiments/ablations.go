@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/proclet"
+	"repro/internal/runpar"
 	"repro/internal/sharded"
 	"repro/internal/sim"
 )
@@ -21,14 +22,16 @@ func runAblMigration(scale Scale) (*Result, error) {
 	}
 	res := newResult("abl-migration", "migration latency vs proclet state size")
 	res.addf("%-12s %14s", "state", "latency[ms]")
-	for _, size := range sizes {
+	// Each sweep point is an independent two-machine simulation; fan
+	// the points out across host cores and merge in size order.
+	lats, err := runpar.MapErr(len(sizes), parallelism, func(i int) (time.Duration, error) {
 		sys := core.NewSystem(core.DefaultConfig(), []cluster.MachineConfig{
 			{Cores: 8, MemBytes: 8 << 30},
 			{Cores: 8, MemBytes: 8 << 30},
 		})
-		pr, err := sys.Runtime.Spawn("migrant", 0, size)
+		pr, err := sys.Runtime.Spawn("migrant", 0, sizes[i])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		var lat time.Duration
 		sys.K.Spawn("ctl", func(p *sim.Proc) {
@@ -39,7 +42,13 @@ func runAblMigration(scale Scale) (*Result, error) {
 			lat = p.Now().Sub(start)
 		})
 		sys.K.Run()
-		ms := float64(lat) / 1e6
+		return lat, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		ms := float64(lats[i]) / 1e6
 		res.addf("%-12s %14.3f", byteSize(size), ms)
 		res.set(fmt.Sprintf("latency_ms.%d", size), ms)
 	}
@@ -195,11 +204,14 @@ func runAblSched(scale Scale) (*Result, error) {
 		{"local-only", false, true},
 		{"global-only", true, false},
 	}
-	for _, m := range modes {
-		st, err := fig1RunSched(cfg, m.disFast, m.disSlow)
-		if err != nil {
-			return nil, err
-		}
+	stats, err := runpar.MapErr(len(modes), parallelism, func(i int) (fig1Stats, error) {
+		return fig1RunSched(cfg, modes[i].disFast, modes[i].disSlow)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range modes {
+		st := stats[i]
 		res.addf("%-12s %14.1f %12d", m.name, st.goodputPct, st.migrations)
 		res.set(m.name+".goodput_pct", st.goodputPct)
 	}

@@ -43,6 +43,13 @@ type Result struct {
 	// milliseconds). Only figure experiments populate these.
 	Series     map[string][]float64
 	SeriesTime []float64
+	// EventsProcessed is the total number of kernel events executed
+	// across the experiment's simulation runs, and Trace the rendered
+	// control-plane event log — both exist so the determinism
+	// regression test can assert that one seed produces exactly one
+	// behaviour. Currently populated by the figure experiments.
+	EventsProcessed uint64
+	Trace           []string
 }
 
 func newResult(id, title string) *Result {
@@ -92,6 +99,27 @@ func (r *Result) Print(w io.Writer) {
 		fmt.Fprintln(w, l)
 	}
 }
+
+// parallelism bounds the host goroutines used to fan independent
+// simulation configurations (fig1/fig2 modes, ablation sweep points)
+// out across cores; 0 means GOMAXPROCS. Every configuration runs on
+// its own sim.Kernel and results are merged by configuration index, so
+// the outcome is identical at any setting.
+var parallelism = 0
+
+// SetParallelism bounds intra-experiment fan-out to n host workers
+// (n <= 0 restores the GOMAXPROCS default). Not safe to call
+// concurrently with Run.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	parallelism = n
+}
+
+// Parallelism returns the current intra-experiment worker bound
+// (0 = GOMAXPROCS).
+func Parallelism() int { return parallelism }
 
 // Runner executes one experiment at the given scale.
 type Runner func(scale Scale) (*Result, error)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runpar"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -53,6 +54,8 @@ type fig1Stats struct {
 	migMaxMs   float64
 	reactMeanM float64 // mean ms from antagonist flip to >50% goodput
 	perMachine [2]*metrics.BucketSeries
+	events     uint64   // kernel events executed in this mode's run
+	trace      []string // rendered control-plane trace for this mode
 }
 
 func fig1Run(cfg fig1Cfg, mode string) (fig1Stats, error) {
@@ -91,16 +94,17 @@ func fig1RunFull(cfg fig1Cfg, mode string, mutate func(*core.Config)) (fig1Stats
 		st.perMachine[i] = metrics.NewBucketSeries(fmt.Sprintf("goodput-m%d", i), time.Millisecond)
 	}
 
-	record := func(m cluster.MachineID) {
-		st.perMachine[m].Add(k.Now(), 1)
+	// One closure value feeds every task: each completion re-enqueues
+	// the same TaskFn on its current proclet, so the steady-state filler
+	// loop allocates no closures at all.
+	var taskFn core.TaskFn
+	taskFn = func(tc *core.TaskCtx) {
+		tc.Compute(cfg.unit)
+		st.perMachine[tc.Machine()].Add(k.Now(), 1)
+		tc.ComputeProclet().Run(taskFn)
 	}
-	var feed func(cp *core.ComputeProclet)
-	feed = func(cp *core.ComputeProclet) {
-		cp.Run(func(tc *core.TaskCtx) {
-			tc.Compute(cfg.unit)
-			record(tc.Machine())
-			feed(tc.ComputeProclet())
-		})
+	feed := func(cp *core.ComputeProclet) {
+		cp.Run(taskFn)
 	}
 
 	switch mode {
@@ -193,6 +197,10 @@ func fig1RunFull(cfg fig1Cfg, mode string, mutate func(*core.Config)) (fig1Stats
 		}
 		st.reactMeanM = sum / float64(len(reacts))
 	}
+	st.events = k.EventsProcessed()
+	for _, e := range sys.Trace.Events() {
+		st.trace = append(st.trace, e.String())
+	}
 	return st, nil
 }
 
@@ -204,17 +212,25 @@ func runFig1(scale Scale) (*Result, error) {
 	res.addf("filler: %d compute proclets x 1 worker, %v work units; horizon %v",
 		cfg.members, cfg.unit, cfg.horizon)
 	res.addf("%-10s %14s %12s %14s %14s %12s", "mode", "goodput[%ideal]", "migrations", "mig mean[ms]", "mig max[ms]", "react[ms]")
-	for _, mode := range []string{"quicksand", "pinned", "coarse"} {
-		st, err := fig1Run(cfg, mode)
-		if err != nil {
-			return nil, err
-		}
+	// The three modes are independent simulations on independent
+	// kernels; run them across host cores and merge in mode order.
+	modes := []string{"quicksand", "pinned", "coarse"}
+	stats, err := runpar.MapErr(len(modes), parallelism, func(i int) (fig1Stats, error) {
+		return fig1Run(cfg, modes[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		st := stats[i]
 		res.addf("%-10s %14.1f %12d %14.3f %14.3f %12.2f",
 			mode, st.goodputPct, st.migrations, st.migMeanMs, st.migMaxMs, st.reactMeanM)
 		res.set(mode+".goodput_pct", st.goodputPct)
 		res.set(mode+".migrations", float64(st.migrations))
 		res.set(mode+".mig_mean_ms", st.migMeanMs)
 		res.set(mode+".react_ms", st.reactMeanM)
+		res.EventsProcessed += st.events
+		res.Trace = append(res.Trace, st.trace...)
 		// Plot-ready series: per-machine goodput in units/ms, 1 ms
 		// buckets — the data behind the paper's Figure 1 plot.
 		nB := int(int64(cfg.horizon) / int64(time.Millisecond))

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dtp"
+	"repro/internal/runpar"
 	"repro/internal/sharded"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -181,12 +182,24 @@ func runFig2(scale Scale) (*Result, error) {
 	res.addf("%-16s %-28s %10s %9s %8s %s",
 		"config", "machines", "time[s]", "vs base", "shards", "compute split")
 
-	var baseSec float64
-	for _, row := range cfg.rows {
-		out, err := fig2Pipeline(cfg, row.machines, imgs)
+	// Each machine-split configuration is an independent simulation on
+	// its own kernel; fan them out across host cores. Results are
+	// consumed strictly in row order (the baseline ratio demands it),
+	// never in completion order.
+	outs, err := runpar.MapErr(len(cfg.rows), parallelism, func(i int) (fig2Outcome, error) {
+		out, err := fig2Pipeline(cfg, cfg.rows[i].machines, imgs)
 		if err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", row.name, err)
+			return out, fmt.Errorf("fig2 %s: %w", cfg.rows[i].name, err)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var baseSec float64
+	for i, row := range cfg.rows {
+		out := outs[i]
 		sec := out.completion.Seconds()
 		if row.name == "baseline" {
 			baseSec = sec

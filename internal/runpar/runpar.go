@@ -1,0 +1,105 @@
+// Package runpar fans independent work items out over a bounded pool of
+// host goroutines and merges results deterministically.
+//
+// Every sim.Kernel is fully independent — it owns its clock, event
+// queue, RNG, and process set — so independent experiment
+// configurations (fig2's machine splits, ablation sweep points, whole
+// experiments in quicksand-bench) can run on separate kernels across
+// host cores. Determinism is preserved by construction: each worker
+// writes only its own result slot, and callers consume results ordered
+// by configuration index, never by completion order.
+package runpar
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs f(i) for every i in [0, n) across up to par host goroutines
+// and returns the results indexed by i. par <= 0 means GOMAXPROCS.
+// With par == 1 (or n == 1) everything runs inline on the caller's
+// goroutine, exactly as a plain loop would.
+//
+// f must not touch shared mutable state; each invocation gets its own
+// result slot. If any invocation panics, Map re-panics with that value
+// on the calling goroutine after all workers stop.
+func Map[T any](n, par int, f func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	out := make([]T, n)
+	if par == 1 {
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked bool
+		panicVal any
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if !panicked {
+								panicked, panicVal = true, r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = f(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+	return out
+}
+
+// MapErr is Map for functions that can fail. It runs every item (it
+// does not cancel on first error) and returns the results plus the
+// first error by item index, mirroring what a sequential loop that
+// collected all outcomes would report.
+func MapErr[T any](n, par int, f func(i int) (T, error)) ([]T, error) {
+	type slot struct {
+		v   T
+		err error
+	}
+	slots := Map(n, par, func(i int) slot {
+		v, err := f(i)
+		return slot{v, err}
+	})
+	out := make([]T, n)
+	var firstErr error
+	for i, s := range slots {
+		out[i] = s.v
+		if s.err != nil && firstErr == nil {
+			firstErr = s.err
+		}
+	}
+	return out, firstErr
+}

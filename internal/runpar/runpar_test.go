@@ -1,0 +1,95 @@
+package runpar
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 7, 64} {
+		got := Map(20, par, func(i int) int { return i * i })
+		if len(got) != 20 {
+			t.Fatalf("par=%d: len = %d, want 20", par, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("par=%d: got[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); got != nil {
+		t.Errorf("Map(0) = %v, want nil", got)
+	}
+}
+
+func TestMapRunsEveryItemExactlyOnce(t *testing.T) {
+	var calls [100]atomic.Int32
+	Map(100, 8, func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("item %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if fmt.Sprint(r) != "boom-7" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	Map(16, 4, func(i int) int {
+		if i == 7 {
+			panic("boom-7")
+		}
+		return i
+	})
+}
+
+func TestMapErrReturnsFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	got, err := MapErr(10, 4, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errB // later item index should not win...
+		case 8:
+			return 0, errA
+		}
+		return i, nil
+	})
+	// First error by item index is i=3's.
+	if !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want %v", err, errB)
+	}
+	if got[5] != 5 {
+		t.Errorf("successful items must still be collected: got[5] = %d", got[5])
+	}
+}
+
+func TestMapErrNilOnSuccess(t *testing.T) {
+	got, err := MapErr(4, 2, func(i int) (string, error) {
+		return fmt.Sprint(i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0", "1", "2", "3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -17,14 +17,14 @@ type Chan[T any] struct {
 }
 
 type chanRecv[T any] struct {
-	w   *waiter
+	w   waiter
 	val T
 	ok  bool
 	rcv bool // value delivered directly to this receiver
 }
 
 type chanSend[T any] struct {
-	w   *waiter
+	w   waiter
 	val T
 	ok  bool // send completed (vs channel closed under a parked sender)
 }
@@ -52,7 +52,7 @@ func (c *Chan[T]) popRecv() *chanRecv[T] {
 	for len(c.recvQ) > 0 {
 		r := c.recvQ[0]
 		c.recvQ = c.recvQ[1:]
-		if !r.w.woken {
+		if !r.w.woken() {
 			return r
 		}
 	}
@@ -63,7 +63,7 @@ func (c *Chan[T]) popSend() *chanSend[T] {
 	for len(c.sendQ) > 0 {
 		s := c.sendQ[0]
 		c.sendQ = c.sendQ[1:]
-		if !s.w.woken {
+		if !s.w.woken() {
 			return s
 		}
 	}
@@ -182,13 +182,13 @@ func (c *Chan[T]) Close() {
 	}
 	c.closed = true
 	for _, r := range c.recvQ {
-		if !r.w.woken {
+		if !r.w.woken() {
 			r.w.wake()
 		}
 	}
 	c.recvQ = nil
 	for _, s := range c.sendQ {
-		if !s.w.woken {
+		if !s.w.woken() {
 			s.ok = false
 			s.w.wake()
 		}

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -46,43 +45,65 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a single entry in the kernel's event queue.
+// event is a single entry in the kernel's event queue. Events are held
+// by value inside the kernel's slices — there is no per-event heap
+// allocation and no interface boxing on the schedule/pop path; the
+// slices themselves act as the event pool, retaining capacity across
+// the run.
+//
+// The hot event payloads are typed instead of closed over: process
+// wakes carry the *Proc directly and tagged callbacks carry a uint64
+// argument, so the dominant event kinds (wake, sleep-expiry, machine
+// completion re-arms) schedule without allocating a closure.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	tag  uint64       // evTagged argument
+	fn   func()       // evFn payload
+	tfn  func(uint64) // evTagged payload
+	p    *Proc        // evResume / evWakeParked payload
+	kind uint8
 }
 
-// eventHeap orders events by (time, insertion sequence).
-type eventHeap []*event
+// Event payload kinds.
+const (
+	evFn         = uint8(iota) // run fn()
+	evTagged                   // run tfn(tag)
+	evResume                   // resume p (already un-blocked by wake)
+	evWakeParked               // un-block and resume p (Sleep expiry)
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, insertion sequence).
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Kernel is a deterministic discrete-event simulator.
 //
 // A Kernel is not safe for concurrent use from multiple host goroutines;
 // all interaction must happen either before Run or from within simulated
-// processes and scheduled events.
+// processes and scheduled events. Distinct kernels are fully independent
+// and may run concurrently on separate host goroutines.
 type Kernel struct {
-	now       Time
-	seq       uint64
-	events    eventHeap
+	now Time
+	seq uint64
+
+	// The event queue is split in two. Events scheduled for a future
+	// instant go through a hand-rolled binary min-heap over a value
+	// slice. Events scheduled at exactly the current instant — the
+	// dominant case: wakes, Yield, same-instant event chains — take a
+	// FIFO fast path that bypasses the heap entirely. FIFO order within
+	// nowq equals (time, seq) order because entries are appended with
+	// nondecreasing timestamps and increasing sequence numbers; pop
+	// compares the FIFO head against the heap top so global (time, seq)
+	// order is preserved exactly.
+	heap    []event
+	nowq    []event
+	nowHead int
+
 	rng       *rand.Rand
 	nextPID   int64
 	live      int // processes spawned and not yet finished
@@ -125,15 +146,139 @@ func (k *Kernel) Live() int { return k.live }
 // waiting on conditions that never fired (often daemons, sometimes bugs).
 func (k *Kernel) Blocked() int { return k.blocked }
 
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.heap) + len(k.nowq) - k.nowHead }
+
 // Schedule runs fn at absolute virtual time at (clamped to now if in the
 // past). fn executes in kernel context: it must not block, but it may
 // spawn or wake processes.
 func (k *Kernel) Schedule(at Time, fn func()) {
-	if at < k.now {
-		at = k.now
-	}
+	k.push(at, event{fn: fn, kind: evFn})
+}
+
+// ScheduleTagged runs fn(tag) at absolute virtual time at (clamped like
+// Schedule). Because the argument travels in the event itself, callers
+// that re-arm the same callback with varying state (for example a
+// machine's generation-guarded completion event) can hold one long-lived
+// fn and schedule with zero allocations.
+func (k *Kernel) ScheduleTagged(at Time, fn func(tag uint64), tag uint64) {
+	k.push(at, event{tfn: fn, tag: tag, kind: evTagged})
+}
+
+// AfterTagged runs fn(tag) after virtual duration d.
+func (k *Kernel) AfterTagged(d time.Duration, fn func(tag uint64), tag uint64) {
+	k.ScheduleTagged(k.now.Add(d), fn, tag)
+}
+
+// push stamps e with (time, seq) and routes it to the same-instant FIFO
+// or the future heap.
+func (k *Kernel) push(at Time, e event) {
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+	e.seq = k.seq
+	if at <= k.now {
+		// Same-instant fast path: append to the FIFO, skip the heap.
+		e.at = k.now
+		k.nowq = append(k.nowq, e)
+		return
+	}
+	e.at = at
+	k.heapPush(e)
+}
+
+// heapPush inserts e into the future-event heap.
+func (k *Kernel) heapPush(e event) {
+	h := append(k.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	k.heap = h
+}
+
+// heapPop removes and returns the minimum future event.
+func (k *Kernel) heapPop() event {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure to the GC
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			m = r
+		}
+		if !eventLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	k.heap = h
+	return top
+}
+
+// nowqPop removes and returns the FIFO head. The backing array is
+// reused once the queue drains, so steady-state same-instant traffic
+// allocates nothing.
+func (k *Kernel) nowqPop() event {
+	e := k.nowq[k.nowHead]
+	k.nowq[k.nowHead] = event{} // release payload references to the GC
+	k.nowHead++
+	if k.nowHead == len(k.nowq) {
+		k.nowq = k.nowq[:0]
+		k.nowHead = 0
+	}
+	return e
+}
+
+// pop removes and returns the globally next event in (time, seq) order,
+// merging the FIFO fast path with the heap.
+func (k *Kernel) pop() (event, bool) {
+	qn := k.nowHead < len(k.nowq)
+	hn := len(k.heap) > 0
+	switch {
+	case qn && hn:
+		if eventLess(k.heap[0], k.nowq[k.nowHead]) {
+			return k.heapPop(), true
+		}
+		return k.nowqPop(), true
+	case qn:
+		return k.nowqPop(), true
+	case hn:
+		return k.heapPop(), true
+	}
+	return event{}, false
+}
+
+// nextAt returns the timestamp of the next pending event, consulting
+// both the FIFO fast path and the heap.
+func (k *Kernel) nextAt() (Time, bool) {
+	qn := k.nowHead < len(k.nowq)
+	hn := len(k.heap) > 0
+	switch {
+	case qn && hn:
+		q, h := k.nowq[k.nowHead].at, k.heap[0].at
+		if h < q {
+			return h, true
+		}
+		return q, true
+	case qn:
+		return k.nowq[k.nowHead].at, true
+	case hn:
+		return k.heap[0].at, true
+	}
+	return 0, false
 }
 
 // After runs fn after virtual duration d.
@@ -218,21 +363,31 @@ func (k *Kernel) resumeAndWait(p *Proc) {
 // wake schedules p to resume at the current virtual time.
 func (k *Kernel) wake(p *Proc) {
 	k.blocked--
-	k.Schedule(k.now, func() { k.resumeAndWait(p) })
+	k.push(k.now, event{p: p, kind: evResume})
 }
 
 // Step executes the next pending event. It reports false when the event
 // queue is empty.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+	e, ok := k.pop()
+	if !ok {
 		return false
 	}
-	e := heap.Pop(&k.events).(*event)
 	if e.at > k.now {
 		k.now = e.at
 	}
 	k.processed++
-	e.fn()
+	switch e.kind {
+	case evFn:
+		e.fn()
+	case evTagged:
+		e.tfn(e.tag)
+	case evResume:
+		k.resumeAndWait(e.p)
+	case evWakeParked:
+		k.blocked--
+		k.resumeAndWait(e.p)
+	}
 	return true
 }
 
@@ -246,10 +401,16 @@ func (k *Kernel) Run() Time {
 }
 
 // RunUntil executes events with timestamps up to and including t, then
-// advances the clock to t. Events scheduled after t remain queued.
+// advances the clock to t. Events scheduled after t remain queued. The
+// next-event check consults both the same-instant FIFO and the heap, so
+// current-instant work queued on the fast path is never stranded.
 func (k *Kernel) RunUntil(t Time) Time {
 	k.stopFlag = false
-	for !k.stopFlag && len(k.events) > 0 && k.events[0].at <= t {
+	for !k.stopFlag {
+		at, ok := k.nextAt()
+		if !ok || at > t {
+			break
+		}
 		k.Step()
 	}
 	if k.now < t {
@@ -272,6 +433,12 @@ type Proc struct {
 	k        *Kernel
 	resume   chan struct{}
 	finished bool
+
+	// Park-cycle state for waiter handles (see prepark): parkSeq
+	// identifies the current cycle and parkWoken records whether some
+	// waker already won it.
+	parkSeq   uint64
+	parkWoken bool
 }
 
 // Kernel returns the kernel this process runs on.
@@ -292,7 +459,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	k := p.k
-	k.Schedule(k.now.Add(d), func() { k.wakeParked(p) })
+	k.push(k.now.Add(d), event{p: p, kind: evWakeParked})
 	p.parkCounted()
 }
 
@@ -307,39 +474,48 @@ func (p *Proc) Yield() { p.Sleep(0) }
 
 // parkCounted parks and lets the kernel account the process as blocked.
 // The waker must go through a path that decrements the blocked count
-// (kernel.wake / wakeParked).
+// (kernel.wake / the evWakeParked event).
 func (p *Proc) parkCounted() { p.park() }
 
-// wakeParked resumes a process that parked via a primitive that did not
-// pre-register a waiter (Sleep). It runs in kernel context.
-func (k *Kernel) wakeParked(p *Proc) {
-	k.blocked--
-	k.resumeAndWait(p)
-}
-
-// waiter is a one-shot wake handle for a parked process. Primitives
-// (channels, mutexes, timeouts) register a waiter before parking so that
-// multiple potential wakers (for example, a sender and a timeout) race
-// safely: only the first wake resumes the process.
+// waiter is a one-shot wake handle for one park cycle of a process.
+// Primitives (channels, mutexes, timeouts) register a waiter before
+// parking so that multiple potential wakers (for example, a sender and
+// a timeout) race safely: only the first wake resumes the process.
+//
+// Waiters are values, not allocations: the handle is (process,
+// park-cycle generation), and the live cycle state lives in the Proc.
+// A handle from an earlier cycle — say, a timeout that fires after its
+// process was woken by a sender and parked somewhere new — sees a
+// generation mismatch and becomes inert.
 type waiter struct {
-	p     *Proc
-	woken bool
+	p   *Proc
+	gen uint64
 }
 
-// prepark registers a wake handle. The caller must subsequently call
-// park exactly once; any number of parties may call wake on the handle.
-func (p *Proc) prepark() *waiter {
-	return &waiter{p: p}
+// prepark opens a new park cycle and returns its wake handle. The
+// caller must subsequently call park exactly once; any number of
+// parties may call wake on copies of the handle.
+func (p *Proc) prepark() waiter {
+	p.parkSeq++
+	p.parkWoken = false
+	return waiter{p: p, gen: p.parkSeq}
+}
+
+// woken reports whether this handle can no longer wake its process:
+// either some waker already won this park cycle, or the process has
+// moved on to a later cycle and the handle is stale.
+func (w waiter) woken() bool {
+	return w.gen != w.p.parkSeq || w.p.parkWoken
 }
 
 // wake resumes the parked process if it has not been woken already. It
 // reports whether this call was the one that woke it. Safe to call from
 // kernel context or from another simulated process.
-func (w *waiter) wake() bool {
-	if w.woken {
+func (w waiter) wake() bool {
+	if w.woken() {
 		return false
 	}
-	w.woken = true
+	w.p.parkWoken = true
 	w.p.k.wake(w.p)
 	return true
 }

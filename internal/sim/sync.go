@@ -5,7 +5,7 @@ import "time"
 // Mutex is a simulated mutual-exclusion lock with FIFO handoff.
 type Mutex struct {
 	held    bool
-	waiters []*waiter
+	waiters []waiter
 }
 
 // Lock acquires the mutex, blocking the calling process until available.
@@ -51,7 +51,7 @@ func (m *Mutex) Locked() bool { return m.held }
 // WaitGroup waits for a collection of simulated activities to finish.
 type WaitGroup struct {
 	count   int
-	waiters []*waiter
+	waiters []waiter
 }
 
 // Add adds delta to the counter. Panics if the counter goes negative.
@@ -91,11 +91,11 @@ func (wg *WaitGroup) release() {
 // Semaphore is a counting semaphore with FIFO waiters.
 type Semaphore struct {
 	avail   int64
-	waiters []*semWaiter
+	waiters []semWaiter
 }
 
 type semWaiter struct {
-	w *waiter
+	w waiter
 	n int64
 }
 
@@ -124,7 +124,7 @@ func (s *Semaphore) Acquire(p *Proc, n int64) {
 	if s.TryAcquire(n) {
 		return
 	}
-	sw := &semWaiter{w: p.prepark(), n: n}
+	sw := semWaiter{w: p.prepark(), n: n}
 	s.waiters = append(s.waiters, sw)
 	p.park()
 }
@@ -134,7 +134,7 @@ func (s *Semaphore) Release(n int64) {
 	s.avail += n
 	for len(s.waiters) > 0 {
 		sw := s.waiters[0]
-		if sw.w.woken {
+		if sw.w.woken() {
 			s.waiters = s.waiters[1:]
 			continue
 		}
@@ -150,14 +150,30 @@ func (s *Semaphore) Release(n int64) {
 // Cond is a simulated condition variable. Unlike sync.Cond it is not
 // tied to a mutex: since the kernel runs one process at a time, checking
 // the predicate and calling Wait cannot race.
+//
+// The first waiter is stored inline (w0) so the overwhelmingly common
+// single-waiter case — e.g. one process waiting on a Task's completion
+// — allocates nothing; additional waiters spill to the slice.
 type Cond struct {
-	waiters []*waiter
+	w0      waiter
+	has0    bool
+	waiters []waiter
+}
+
+// add registers a waiter, preserving FIFO order: the inline slot is
+// only used when no other waiter is registered.
+func (c *Cond) add(w waiter) {
+	if !c.has0 && len(c.waiters) == 0 {
+		c.w0, c.has0 = w, true
+		return
+	}
+	c.waiters = append(c.waiters, w)
 }
 
 // Wait parks the calling process until Signal or Broadcast.
 func (c *Cond) Wait(p *Proc) {
 	w := p.prepark()
-	c.waiters = append(c.waiters, w)
+	c.add(w)
 	p.park()
 }
 
@@ -168,7 +184,7 @@ func (c *Cond) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
 		return true
 	}
 	w := p.prepark()
-	c.waiters = append(c.waiters, w)
+	c.add(w)
 	fired := false
 	p.k.After(d, func() {
 		if w.wake() {
@@ -181,6 +197,14 @@ func (c *Cond) WaitTimeout(p *Proc, d time.Duration) (timedOut bool) {
 
 // Signal wakes the oldest waiter, if any.
 func (c *Cond) Signal() {
+	if c.has0 {
+		w := c.w0
+		c.has0 = false
+		c.w0 = waiter{}
+		if w.wake() {
+			return
+		}
+	}
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
@@ -192,24 +216,34 @@ func (c *Cond) Signal() {
 
 // Broadcast wakes all waiters.
 func (c *Cond) Broadcast() {
-	for _, w := range c.waiters {
-		if !w.woken {
-			w.wake()
-		}
+	if c.has0 {
+		c.has0 = false
+		w := c.w0
+		c.w0 = waiter{}
+		w.wake()
 	}
-	c.waiters = nil
+	for _, w := range c.waiters {
+		w.wake()
+	}
+	c.waiters = c.waiters[:0]
 }
 
 // Waiters returns the number of registered (possibly already-woken)
 // waiters; mainly useful in tests.
-func (c *Cond) Waiters() int { return len(c.waiters) }
+func (c *Cond) Waiters() int {
+	n := len(c.waiters)
+	if c.has0 {
+		n++
+	}
+	return n
+}
 
 // Future is a one-shot value that simulated processes can wait on.
 type Future[T any] struct {
 	set     bool
 	val     T
 	err     error
-	waiters []*waiter
+	waiters []waiter
 }
 
 // NewFuture creates an unset future.
@@ -223,9 +257,7 @@ func (f *Future[T]) Set(v T, err error) {
 	f.set = true
 	f.val, f.err = v, err
 	for _, w := range f.waiters {
-		if !w.woken {
-			w.wake()
-		}
+		w.wake()
 	}
 	f.waiters = nil
 }
