@@ -18,6 +18,7 @@ import (
 	"repro/internal/proclet"
 	"repro/internal/sharded"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 // benchSystem builds the standard 2-machine benchmark fixture.
@@ -222,6 +223,41 @@ func BenchmarkRemoteInvoke(b *testing.B) {
 		}
 	})
 	sys.K.Run()
+}
+
+// BenchmarkRPCCall measures the raw fabric RPC path (no proclet layer):
+// an inline fast handler versus a pooled-process blocking handler.
+// Both variants should run allocation-free per call.
+func BenchmarkRPCCall(b *testing.B) {
+	bench := func(b *testing.B, fast bool) {
+		b.ReportAllocs()
+		k := sim.NewKernel(1)
+		defer k.Close()
+		f := simnet.New(k, simnet.DefaultConfig())
+		f.AddNode(1)
+		srv := f.AddNode(2)
+		if fast {
+			srv.HandleFast("echo", func(req simnet.Message) (simnet.Message, error) {
+				return simnet.Message{Bytes: 128}, nil
+			})
+		} else {
+			srv.Handle("echo", func(p *sim.Proc, req simnet.Message) (simnet.Message, error) {
+				return simnet.Message{Bytes: 128}, nil
+			})
+		}
+		b.ResetTimer()
+		k.Spawn("client", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Call(p, 1, 2, "echo", simnet.Message{Bytes: 128}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		k.Run()
+	}
+	b.Run("fast", func(b *testing.B) { bench(b, true) })
+	b.Run("blocking", func(b *testing.B) { bench(b, false) })
 }
 
 // BenchmarkProcletMigration measures a 64 KiB proclet bouncing between

@@ -17,24 +17,57 @@
 //
 // -cpuprofile / -memprofile write pprof profiles of the run for
 // `go tool pprof`.
+//
+// -json additionally writes one BENCH_<id>.json file per experiment
+// with the host-side cost of the run: wall-clock time, kernel events
+// processed, and heap allocations. Allocation counts are process-wide
+// deltas, so they are exact only at -par 1; under parallel runs they
+// include whatever ran concurrently.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/runpar"
 )
+
+// benchStats is the machine-readable record emitted by -json for one
+// experiment run.
+type benchStats struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Events uint64  `json:"events_processed"`
+	Allocs uint64  `json:"allocs"`
+}
+
+// writeBenchJSON writes st to BENCH_<id>.json under dir and returns
+// the path written.
+func writeBenchJSON(dir string, st benchStats) (string, error) {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+st.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
 
 func main() {
 	scaleFlag := flag.String("scale", "full", "experiment scale: full (paper) or test (CI)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csv := flag.Bool("csv", false, "emit plot-ready CSV time series instead of tables (fig1/fig3)")
 	par := flag.Int("par", 0, "max concurrent host workers for experiments (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "write BENCH_<id>.json per experiment (wall clock, events, allocs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	flag.Parse()
@@ -88,10 +121,27 @@ func main() {
 	type outcome struct {
 		res *experiments.Result
 		err error
+		st  benchStats
 	}
 	outs := runpar.Map(len(ids), *par, func(i int) outcome {
+		var m0 runtime.MemStats
+		if *jsonOut {
+			runtime.ReadMemStats(&m0)
+		}
+		start := time.Now()
 		res, err := experiments.Run(ids[i], scale)
-		return outcome{res, err}
+		o := outcome{res: res, err: err}
+		if *jsonOut && err == nil {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			o.st = benchStats{
+				ID:     ids[i],
+				WallMS: float64(time.Since(start).Microseconds()) / 1000,
+				Events: res.EventsProcessed,
+				Allocs: m1.Mallocs - m0.Mallocs,
+			}
+		}
+		return o
 	})
 
 	failed := false
@@ -103,6 +153,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "quicksand-bench: %s: %v\n", id, outs[i].err)
 			failed = true
 			continue
+		}
+		if *jsonOut {
+			path, err := writeBenchJSON(".", outs[i].st)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quicksand-bench: %s: %v\n", id, err)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "quicksand-bench: wrote %s\n", path)
+			}
 		}
 		if *csv {
 			outs[i].res.WriteCSV(os.Stdout)

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestWriteBenchJSON round-trips a stats record through the BENCH file.
+func TestWriteBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	st := benchStats{ID: "fig1", WallMS: 211.5, Events: 1234567, Allocs: 89_000}
+	path, err := writeBenchJSON(dir, st)
+	if err != nil {
+		t.Fatalf("writeBenchJSON: %v", err)
+	}
+	if want := filepath.Join(dir, "BENCH_fig1.json"); path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var got benchStats
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != st {
+		t.Errorf("round trip = %+v, want %+v", got, st)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("BENCH file must end with a newline")
+	}
+}
+
+// TestWriteBenchJSONBadDir: write failures surface as errors, not
+// silent drops.
+func TestWriteBenchJSONBadDir(t *testing.T) {
+	if _, err := writeBenchJSON(filepath.Join(t.TempDir(), "missing"), benchStats{ID: "x"}); err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+}
+
+// TestBenchStatsFromExperiment: a real (test-scale) experiment yields a
+// populated events count for the JSON record.
+func TestBenchStatsFromExperiment(t *testing.T) {
+	res, err := experiments.Run("fig1", experiments.TestScale)
+	if err != nil {
+		t.Fatalf("fig1: %v", err)
+	}
+	if res.EventsProcessed == 0 {
+		t.Error("fig1 reported 0 events processed; BENCH json would be empty")
+	}
+	if _, err := writeBenchJSON(t.TempDir(), benchStats{ID: res.ID, Events: res.EventsProcessed}); err != nil {
+		t.Fatalf("writeBenchJSON: %v", err)
+	}
+}

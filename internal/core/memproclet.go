@@ -41,6 +41,10 @@ type objEntry struct {
 // access from anywhere in the cluster (§3.1). Its compute footprint is
 // negligible — data operations cost network transfer, not CPU — so the
 // scheduler places and migrates it purely by memory availability.
+//
+// Every method is registered as a FastMethod: none of them blocks, so
+// remote operations are served inline at the instant the request is
+// delivered — no handler process, no goroutine handoff.
 type MemoryProclet struct {
 	sys     *System
 	pr      *proclet.Proclet
@@ -103,7 +107,7 @@ func (s *System) NewMemoryProclet(name string, expectedBytes int64) (*MemoryProc
 }
 
 func (mp *MemoryProclet) registerMethods() {
-	mp.pr.Handle(methodMemGet, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	mp.pr.HandleFast(methodMemGet, func(arg proclet.Msg) (proclet.Msg, error) {
 		id := arg.Payload.(uint64)
 		e, ok := mp.objs[id]
 		if !ok {
@@ -111,7 +115,7 @@ func (mp *MemoryProclet) registerMethods() {
 		}
 		return proclet.Msg{Payload: e.val, Bytes: e.bytes}, nil
 	})
-	mp.pr.Handle(methodMemPut, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	mp.pr.HandleFast(methodMemPut, func(arg proclet.Msg) (proclet.Msg, error) {
 		r := arg.Payload.(*putReq)
 		old, existed := mp.objs[r.id]
 		delta := r.bytes + objOverheadBytes
@@ -124,7 +128,7 @@ func (mp *MemoryProclet) registerMethods() {
 		mp.objs[r.id] = objEntry{val: r.val, bytes: r.bytes}
 		return proclet.Msg{}, nil
 	})
-	mp.pr.Handle(methodMemDel, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	mp.pr.HandleFast(methodMemDel, func(arg proclet.Msg) (proclet.Msg, error) {
 		id := arg.Payload.(uint64)
 		e, ok := mp.objs[id]
 		if !ok {
@@ -136,7 +140,7 @@ func (mp *MemoryProclet) registerMethods() {
 		}
 		return proclet.Msg{}, nil
 	})
-	mp.pr.Handle(methodMemScan, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	mp.pr.HandleFast(methodMemScan, func(arg proclet.Msg) (proclet.Msg, error) {
 		r := arg.Payload.(*scanReq)
 		res := &scanRes{}
 		for _, id := range mp.idsInRange(r.lo, r.hi) {
@@ -147,7 +151,7 @@ func (mp *MemoryProclet) registerMethods() {
 		}
 		return proclet.Msg{Payload: res, Bytes: res.totalBytes()}, nil
 	})
-	mp.pr.Handle(methodMemPutBatch, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	mp.pr.HandleFast(methodMemPutBatch, func(arg proclet.Msg) (proclet.Msg, error) {
 		r := arg.Payload.(*scanRes)
 		var delta int64
 		for i, id := range r.ids {
@@ -167,7 +171,7 @@ func (mp *MemoryProclet) registerMethods() {
 		}
 		return proclet.Msg{}, nil
 	})
-	mp.pr.Handle(methodMemDelRange, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	mp.pr.HandleFast(methodMemDelRange, func(arg proclet.Msg) (proclet.Msg, error) {
 		r := arg.Payload.(*scanReq)
 		var delta int64
 		for _, id := range mp.idsInRange(r.lo, r.hi) {
@@ -200,7 +204,7 @@ type updateReq struct {
 // registerMutators installs the take/update methods (split out of
 // registerMethods for readability).
 func (mp *MemoryProclet) registerMutators() {
-	mp.pr.Handle(methodMemTake, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	mp.pr.HandleFast(methodMemTake, func(arg proclet.Msg) (proclet.Msg, error) {
 		id := arg.Payload.(uint64)
 		e, ok := mp.objs[id]
 		if !ok {
@@ -212,7 +216,7 @@ func (mp *MemoryProclet) registerMutators() {
 		}
 		return proclet.Msg{Payload: e.val, Bytes: e.bytes}, nil
 	})
-	mp.pr.Handle(methodMemUpdate, func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+	mp.pr.HandleFast(methodMemUpdate, func(arg proclet.Msg) (proclet.Msg, error) {
 		r := arg.Payload.(*updateReq)
 		old, existed := mp.objs[r.id]
 		val, bytes, keep := r.fn(old.val, existed)

@@ -136,6 +136,12 @@ func NewSystem(cfg Config, machines []cluster.MachineConfig) *System {
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// Close releases the kernel's pooled worker goroutines. Call it when
+// done simulating on this system; experiment sweeps and benchmark
+// loops that build many systems would otherwise accumulate parked
+// goroutines for the life of the host process.
+func (s *System) Close() { s.K.Close() }
+
 // Start launches the scheduler's control loops. Call once, before or
 // during the simulation run.
 func (s *System) Start() { s.Sched.start() }

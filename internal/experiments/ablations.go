@@ -29,6 +29,7 @@ func runAblMigration(scale Scale) (*Result, error) {
 			{Cores: 8, MemBytes: 8 << 30},
 			{Cores: 8, MemBytes: 8 << 30},
 		})
+		defer sys.Close()
 		pr, err := sys.Runtime.Spawn("migrant", 0, sizes[i])
 		if err != nil {
 			return 0, err
@@ -71,6 +72,7 @@ func runAblSplit(scale Scale) (*Result, error) {
 			{Cores: 8, MemBytes: 8 << 30},
 			{Cores: 8, MemBytes: 8 << 30},
 		})
+		defer sys.Close()
 		v, err := sharded.NewVector[int](sys, "v", sharded.Options{MaxShardBytes: cap})
 		if err != nil {
 			return nil, err
@@ -124,6 +126,7 @@ func runAblPrefetch(scale Scale) (*Result, error) {
 			{Cores: 8, MemBytes: 8 << 30},
 			{Cores: 8, MemBytes: 8 << 30},
 		})
+		defer sys.Close()
 		v, err := sharded.NewVector[int](sys, "imgs", sharded.Options{MaxShardBytes: 1 << 30})
 		if err != nil {
 			return 0, err
@@ -241,7 +244,7 @@ func runAblLocality(scale Scale) (*Result, error) {
 	}
 	res := newResult("abl-locality", "affinity colocation for chatty proclet pairs")
 
-	run := func(colocate bool) (float64, int64, error) {
+	run := func(colocate bool) (float64, int64, uint64, error) {
 		sysCfg := core.DefaultConfig()
 		sysCfg.GlobalPeriod = 50 * time.Millisecond
 		sysCfg.DisableSlowPath = !colocate
@@ -249,6 +252,7 @@ func runAblLocality(scale Scale) (*Result, error) {
 			{Cores: 8, MemBytes: 8 << 30},
 			{Cores: 8, MemBytes: 8 << 30},
 		})
+		defer sys.Close()
 		sys.Start()
 		ops := new(int64)
 		for i := 0; i < pairs; i++ {
@@ -256,12 +260,12 @@ func runAblLocality(scale Scale) (*Result, error) {
 			// machine 0.
 			mp, err := core.NewMemoryProcletOn(sys, fmt.Sprintf("data-%d", i), 1)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 			sys.Sched.Pin(mp.ID())
 			cp, err := core.NewComputeProcletOn(sys, fmt.Sprintf("reader-%d", i), 0, 1)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 			var ptr core.Ptr[int]
 			mpLocal := mp
@@ -286,17 +290,18 @@ func runAblLocality(scale Scale) (*Result, error) {
 			})
 		}
 		sys.K.RunUntil(horizon)
-		return float64(*ops) / horizon.Seconds(), sys.Sched.AffinityMoves.Value(), nil
+		return float64(*ops) / horizon.Seconds(), sys.Sched.AffinityMoves.Value(), sys.K.EventsProcessed(), nil
 	}
 
-	with, moves, err := run(true)
+	with, moves, evWith, err := run(true)
 	if err != nil {
 		return nil, err
 	}
-	without, _, err := run(false)
+	without, _, evWithout, err := run(false)
 	if err != nil {
 		return nil, err
 	}
+	res.EventsProcessed = evWith + evWithout
 	res.addf("%-16s %14s %14s", "mode", "ops/sec", "affinity moves")
 	res.addf("%-16s %14.0f %14d", "colocation on", with, moves)
 	res.addf("%-16s %14.0f %14s", "colocation off", without, "-")

@@ -38,6 +38,7 @@ func runAblPostcopy(scale Scale) (*Result, error) {
 				{Cores: 8, MemBytes: 8 << 30},
 				{Cores: 8, MemBytes: 8 << 30},
 			})
+			defer sys.Close()
 			pr, err := sys.Runtime.Spawn("svc", 0, size)
 			if err != nil {
 				return o, err

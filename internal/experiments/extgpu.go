@@ -65,6 +65,7 @@ func extGPURun(cfg extGPUCfg, fungible bool) (extGPUOut, error) {
 		machines[i] = cluster.MachineConfig{Cores: 16, MemBytes: 32 << 30}
 	}
 	sys := core.NewSystem(core.DefaultConfig(), machines)
+	defer sys.Close()
 	for _, m := range sys.Cluster.Machines() {
 		m.AddGPUs(cluster.GPUConfig{Count: cfg.gpusPer, MemBytes: 16 << 30, LinkBandwidth: 16_000_000_000})
 	}

@@ -41,6 +41,7 @@ func runExtHarvest(scale Scale) (*Result, error) {
 			machines[i] = cluster.MachineConfig{Cores: cores, MemBytes: 16 << 30}
 		}
 		sys := core.NewSystem(core.DefaultConfig(), machines)
+		defer sys.Close()
 		// Staggered antagonists: machine i idle during the i-th third
 		// of the period (busy the other two thirds).
 		busy := period * 2 / 3
@@ -135,6 +136,7 @@ func runExtMemHarvest(scale Scale) (*Result, error) {
 		{Cores: 8, MemBytes: 2 << 30},
 		{Cores: 8, MemBytes: 2 << 30},
 	})
+	defer sys.Close()
 	sys.Start()
 	v, err := sharded.NewVector[int](sys, "dataset", sharded.Options{MaxShardBytes: 64 << 20, AutoAdapt: true})
 	if err != nil {

@@ -34,6 +34,7 @@ func runExtTiering(scale Scale) (*Result, error) {
 			{Cores: 8, MemBytes: ramPer},
 			{Cores: 8, MemBytes: ramPer},
 		})
+		defer sys.Close()
 		dev := storage.DeviceConfig{
 			CapacityBytes: 16 << 30,
 			ReadLatency:   80 * time.Microsecond,

@@ -78,6 +78,7 @@ func fig1RunFull(cfg fig1Cfg, mode string, mutate func(*core.Config)) (fig1Stats
 		{Cores: cfg.cores, MemBytes: 32 << 30},
 	}
 	sys := core.NewSystem(sysCfg, machines)
+	defer sys.Close()
 	k := sys.K
 
 	// Anti-phased antagonists: m0 busy in the first half-period, m1 in

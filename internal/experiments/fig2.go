@@ -92,6 +92,7 @@ type fig2Outcome struct {
 	memSplit    []int64 // bytes resident per machine at preprocessing start
 	procSplit   []int   // compute proclets per machine at completion
 	evacuations int64
+	events      uint64
 }
 
 // fig2Pipeline runs the Quicksand preprocessing pipeline on the given
@@ -101,6 +102,7 @@ func fig2Pipeline(cfg fig2Cfg, machines []cluster.MachineConfig, imgs []workload
 	var out fig2Outcome
 	sysCfg := core.DefaultConfig()
 	sys := core.NewSystem(sysCfg, machines)
+	defer sys.Close()
 	sys.Start()
 
 	opts := sharded.Options{AutoAdapt: true}
@@ -170,6 +172,7 @@ func fig2Pipeline(cfg fig2Cfg, machines []cluster.MachineConfig, imgs []workload
 		return out, fmt.Errorf("fig2: pipeline did not complete (deadlock?)")
 	}
 	out.evacuations = sys.Sched.Evacuations.Value() + sys.Sched.MemEvictions.Value()
+	out.events = sys.K.EventsProcessed()
 	return out, nil
 }
 
@@ -200,6 +203,7 @@ func runFig2(scale Scale) (*Result, error) {
 	var baseSec float64
 	for i, row := range cfg.rows {
 		out := outs[i]
+		res.EventsProcessed += out.events
 		sec := out.completion.Seconds()
 		if row.name == "baseline" {
 			baseSec = sec
@@ -244,6 +248,7 @@ func runFig2(scale Scale) (*Result, error) {
 
 func runStatic(cfg fig2Cfg, machineCfgs []cluster.MachineConfig, imgs []workload.Image, frac []float64) baseline.StaticResult {
 	k := sim.NewKernel(7)
+	defer k.Close()
 	c := cluster.New(k, simnet.DefaultConfig())
 	var ms []*cluster.Machine
 	for _, mc := range machineCfgs {

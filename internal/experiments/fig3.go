@@ -66,6 +66,7 @@ func fig3Run(cfg fig3Cfg) (fig3Out, error) {
 		{Cores: 24, MemBytes: 16 << 30},
 	}
 	sys := core.NewSystem(sysCfg, machines)
+	defer sys.Close()
 
 	queue, err := sharded.NewQueue[workload.Batch](sys, "batches", sharded.Options{})
 	if err != nil {

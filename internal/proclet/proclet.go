@@ -69,6 +69,15 @@ func (s State) String() string {
 // proclets through the context.
 type Method func(ctx *Ctx, arg Msg) (Msg, error)
 
+// FastMethod is a proclet method that never blocks: no sleeping, no
+// compute, no locks, no nested calls. Remote invocations of a fast
+// method are served inline at the instant the request is delivered —
+// no handler process, no goroutine handoff, no Ctx allocation — via
+// simnet's fast-dispatch path; local invocations skip the Ctx as well.
+// Pure state reads and writes (directory lookups, memory-proclet
+// get/put) belong here.
+type FastMethod func(arg Msg) (Msg, error)
+
 // Proclet is one migratable unit: a heap (byte-accounted state plus an
 // arbitrary Go value in Data) and threads.
 type Proclet struct {
@@ -78,8 +87,9 @@ type Proclet struct {
 	machine cluster.MachineID
 	state   State
 
-	heapBytes int64
-	methods   map[string]Method
+	heapBytes   int64
+	methods     map[string]Method
+	fastMethods map[string]FastMethod
 
 	// Data holds the proclet's actual structure state (shard contents,
 	// task queues). It travels with the proclet on migration; its
@@ -133,7 +143,26 @@ func (pr *Proclet) Handle(method string, fn Method) {
 	if _, dup := pr.methods[method]; dup {
 		panic(fmt.Sprintf("proclet: duplicate method %q on %s", method, pr.name))
 	}
+	if _, dup := pr.fastMethods[method]; dup {
+		panic(fmt.Sprintf("proclet: method %q on %s already registered as fast", method, pr.name))
+	}
 	pr.methods[method] = fn
+}
+
+// HandleFast registers a non-blocking method served on the inline
+// dispatch path (see FastMethod). A method name is either fast or
+// blocking, not both; registering it in both tables panics.
+func (pr *Proclet) HandleFast(method string, fn FastMethod) {
+	if _, dup := pr.fastMethods[method]; dup {
+		panic(fmt.Sprintf("proclet: duplicate fast method %q on %s", method, pr.name))
+	}
+	if _, dup := pr.methods[method]; dup {
+		panic(fmt.Sprintf("proclet: method %q on %s already registered as blocking", method, pr.name))
+	}
+	if pr.fastMethods == nil {
+		pr.fastMethods = make(map[string]FastMethod)
+	}
+	pr.fastMethods[method] = fn
 }
 
 // GrowHeap adjusts the proclet's accounted state size by delta bytes
@@ -164,7 +193,9 @@ func (pr *Proclet) Call(p *sim.Proc, target ID, method string, arg Msg) (Msg, er
 	return pr.rt.Invoke(p, pr.machine, pr.id, target, method, arg)
 }
 
-// Ctx is passed to every method invocation.
+// Ctx is passed to every method invocation. It is valid only for the
+// duration of the invocation — the runtime recycles Ctx structs, so
+// methods must not retain one past their return.
 type Ctx struct {
 	// Proc is the simulated process executing the invocation.
 	Proc *sim.Proc
@@ -203,18 +234,25 @@ func (c *Ctx) Runtime() *Runtime { return c.Self.rt }
 type Thread struct {
 	pr   *Proclet
 	proc *sim.Proc
-	name string
+	base string // thread name as given to SpawnThread
+	idx  int64  // per-proclet thread ordinal
 }
 
-// SpawnThread starts fn on a new thread of the proclet.
+// SpawnThread starts fn on a new thread of the proclet. The thread's
+// full process name is formatted lazily (only if observed, e.g. on
+// panic), so thread-heavy workloads pay no per-spawn Sprintf.
 func (pr *Proclet) SpawnThread(name string, fn func(t *Thread)) *Thread {
 	pr.nextThread++
-	t := &Thread{pr: pr, name: fmt.Sprintf("%s/%s-%d", pr.name, name, pr.nextThread)}
-	t.proc = pr.rt.k.Spawn(t.name, func(p *sim.Proc) {
+	t := &Thread{pr: pr, base: name, idx: pr.nextThread}
+	t.proc = pr.rt.k.SpawnLazy(t.procName, func(p *sim.Proc) {
 		t.proc = p
 		fn(t)
 	})
 	return t
+}
+
+func (t *Thread) procName() string {
+	return fmt.Sprintf("%s/%s-%d", t.pr.name, t.base, t.idx)
 }
 
 // Proc returns the thread's simulated process.

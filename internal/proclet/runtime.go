@@ -77,6 +77,17 @@ type Runtime struct {
 	LocalInvokes     metrics.Counter
 	RemoteInvokes    metrics.Counter
 	LazyPenalties    metrics.Counter
+	// FastInvokes counts invocations of FastMethods served without a
+	// Ctx or handler process (both local and remote-inline).
+	FastInvokes metrics.Counter
+
+	// reqPool recycles invokeReq wire structs so steady-state remote
+	// invocations allocate nothing for the request envelope; ctxPool
+	// does the same for method Ctxs (a stack, so invocations that
+	// nest — a method calling another local proclet — each get their
+	// own Ctx).
+	reqPool []*invokeReq
+	ctxPool []*Ctx
 }
 
 // invokeReq is the wire format of a remote invocation.
@@ -109,9 +120,15 @@ func NewRuntime(c *cluster.Cluster, cfg Config, tl *trace.Log) *Runtime {
 		mid := m.ID
 		rt.local[mid] = make(map[ID]*Proclet)
 		rt.caches[mid] = make(map[ID]cluster.MachineID)
-		c.Node(mid).Handle("proclet.invoke", func(hp *sim.Proc, req simnet.Message) (simnet.Message, error) {
+		n := c.Node(mid)
+		n.Handle("proclet.invoke", func(hp *sim.Proc, req simnet.Message) (simnet.Message, error) {
 			r := req.Payload.(*invokeReq)
 			return rt.execOn(hp, mid, r)
+		})
+		// Fast methods are served inline at request delivery; anything
+		// that would need to block falls back to the handler above.
+		n.HandleFast("proclet.invoke", func(req simnet.Message) (simnet.Message, error) {
+			return rt.execFastOn(mid, req.Payload.(*invokeReq))
 		})
 	}
 	return rt
@@ -218,16 +235,57 @@ func (rt *Runtime) locate(p *sim.Proc, m cluster.MachineID, target ID) (cluster.
 // accounting. The call blocks the calling process until the reply
 // arrives, chasing stale location caches as needed.
 func (rt *Runtime) Invoke(p *sim.Proc, fromMachine cluster.MachineID, from ID, target ID, method string, arg Msg) (Msg, error) {
-	req := &invokeReq{From: from, Target: target, Method: method, Arg: arg}
+	req := rt.getReq()
+	req.From, req.Target, req.Method, req.Arg = from, target, method, arg
+	res, err := rt.invoke(p, fromMachine, req)
+	rt.putReq(req)
+	return res, err
+}
+
+// getReq pops a pooled request envelope; putReq returns it. The
+// envelope is only referenced synchronously while the invocation is in
+// flight (the caller blocks for the round trip), so releasing it when
+// invoke returns is safe.
+func (rt *Runtime) getReq() *invokeReq {
+	if n := len(rt.reqPool); n > 0 {
+		r := rt.reqPool[n-1]
+		rt.reqPool[n-1] = nil
+		rt.reqPool = rt.reqPool[:n-1]
+		return r
+	}
+	return &invokeReq{}
+}
+
+func (rt *Runtime) putReq(r *invokeReq) {
+	*r = invokeReq{} // drop the payload reference
+	rt.reqPool = append(rt.reqPool, r)
+}
+
+func (rt *Runtime) getCtx() *Ctx {
+	if n := len(rt.ctxPool); n > 0 {
+		c := rt.ctxPool[n-1]
+		rt.ctxPool[n-1] = nil
+		rt.ctxPool = rt.ctxPool[:n-1]
+		return c
+	}
+	return &Ctx{}
+}
+
+func (rt *Runtime) putCtx(c *Ctx) {
+	*c = Ctx{}
+	rt.ctxPool = append(rt.ctxPool, c)
+}
+
+func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invokeReq) (Msg, error) {
 	for attempt := 0; attempt < rt.cfg.MaxInvokeRetries; attempt++ {
-		loc, err := rt.locate(p, fromMachine, target)
+		loc, err := rt.locate(p, fromMachine, req.Target)
 		if err != nil {
 			return Msg{}, err
 		}
 		if loc == fromMachine {
-			pr, ok := rt.local[loc][target]
+			pr, ok := rt.local[loc][req.Target]
 			if !ok {
-				delete(rt.caches[fromMachine], target)
+				delete(rt.caches[fromMachine], req.Target)
 				continue
 			}
 			if pr.state == StateMigrating {
@@ -236,13 +294,13 @@ func (rt *Runtime) Invoke(p *sim.Proc, fromMachine cluster.MachineID, from ID, t
 			}
 			p.Sleep(rt.cfg.LocalInvokeOverhead)
 			rt.LocalInvokes.Inc()
-			return rt.exec(p, pr, from, method, arg)
+			return rt.exec(p, pr, req.From, req.Method, req.Arg)
 		}
 		reply, err := rt.Cluster.Fabric.Call(p,
 			simnet.NodeID(fromMachine), simnet.NodeID(loc),
-			"proclet.invoke", simnet.Message{Payload: req, Bytes: arg.Bytes})
+			"proclet.invoke", simnet.Message{Payload: req, Bytes: req.Arg.Bytes})
 		if errors.Is(err, ErrMoved) {
-			delete(rt.caches[fromMachine], target)
+			delete(rt.caches[fromMachine], req.Target)
 			continue
 		}
 		if err != nil {
@@ -251,7 +309,7 @@ func (rt *Runtime) Invoke(p *sim.Proc, fromMachine cluster.MachineID, from ID, t
 		rt.RemoteInvokes.Inc()
 		return reply, nil
 	}
-	return Msg{}, fmt.Errorf("%w: target %d method %q", ErrRetries, target, method)
+	return Msg{}, fmt.Errorf("%w: target %d method %q", ErrRetries, req.Target, req.Method)
 }
 
 // execOn runs an invocation that arrived at machine m, waiting out any
@@ -271,22 +329,67 @@ func (rt *Runtime) execOn(p *sim.Proc, m cluster.MachineID, r *invokeReq) (Msg, 
 	}
 }
 
+// execFastOn serves a remote invocation inline in kernel context at the
+// instant the request lands. It declines with simnet.ErrWouldBlock
+// whenever serving would need a simulated process: the proclet is
+// migrating (the handler must wait it out), it is in a post-copy lazy
+// window (the remote-access penalty is a sleep), or the method is a
+// blocking one.
+func (rt *Runtime) execFastOn(m cluster.MachineID, r *invokeReq) (Msg, error) {
+	pr, ok := rt.local[m][r.Target]
+	if !ok {
+		return Msg{}, ErrMoved
+	}
+	if pr.state == StateMigrating || (pr.lazyWindow && rt.cfg.LazyRemotePenalty > 0) {
+		return Msg{}, simnet.ErrWouldBlock
+	}
+	fn, ok := pr.fastMethods[r.Method]
+	if !ok {
+		if _, blocking := pr.methods[r.Method]; blocking {
+			return Msg{}, simnet.ErrWouldBlock
+		}
+		return Msg{}, fmt.Errorf("%w: %q on %s", ErrNoMethod, r.Method, pr.name)
+	}
+	res, err := fn(r.Arg)
+	rt.FastInvokes.Inc()
+	rt.account(pr, r.From, r.Arg, res)
+	return res, err
+}
+
 // exec dispatches the method on a proclet known to be local and
 // running, tracking the active-invocation count for migration drains
-// and affinity bytes for the scheduler.
+// and affinity bytes for the scheduler. Fast methods skip the Ctx and
+// the active count: they execute atomically within the current event,
+// so a migration drain can never observe one in flight.
 func (rt *Runtime) exec(p *sim.Proc, pr *Proclet, from ID, method string, arg Msg) (Msg, error) {
+	if fn, ok := pr.fastMethods[method]; ok {
+		rt.lazyPenalty(p, pr)
+		res, err := fn(arg)
+		rt.FastInvokes.Inc()
+		rt.account(pr, from, arg, res)
+		return res, err
+	}
 	fn, ok := pr.methods[method]
 	if !ok {
 		return Msg{}, fmt.Errorf("%w: %q on %s", ErrNoMethod, method, pr.name)
 	}
 	rt.lazyPenalty(p, pr)
 	pr.active++
-	ctx := &Ctx{Proc: p, Self: pr, From: from}
+	ctx := rt.getCtx()
+	ctx.Proc, ctx.Self, ctx.From = p, pr, from
 	res, err := fn(ctx, arg)
+	rt.putCtx(ctx)
 	pr.active--
 	if pr.active == 0 {
 		pr.drained.Broadcast()
 	}
+	rt.account(pr, from, arg, res)
+	return res, err
+}
+
+// account records an executed invocation for the proclet's stats and
+// the scheduler's affinity signal.
+func (rt *Runtime) account(pr *Proclet, from ID, arg, res Msg) {
 	pr.invokes.Inc()
 	if from != 0 {
 		bytes := arg.Bytes + res.Bytes
@@ -297,7 +400,6 @@ func (rt *Runtime) exec(p *sim.Proc, pr *Proclet, from ID, method string, arg Ms
 			caller.commBytes[pr.id] += bytes
 		}
 	}
-	return res, err
 }
 
 // Migrate live-migrates the proclet to machine `to`, blocking the

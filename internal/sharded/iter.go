@@ -97,7 +97,10 @@ func (it *VecIter[T]) issuePrefetch(from cluster.MachineID) {
 	it.inflight = fut
 	it.nextFrom = planned // provisional; corrected when the batch lands
 	it.Fetches++
-	it.v.sys.K.Spawn(fmt.Sprintf("%s.prefetch", it.v.name), func(p *sim.Proc) {
+	if it.v.prefName == "" {
+		it.v.prefName = it.v.name + ".prefetch"
+	}
+	it.v.sys.K.Spawn(it.v.prefName, func(p *sim.Proc) {
 		it.v.gate.wait(p, start)
 		s := it.v.shardIdx(start)
 		end := planned

@@ -24,6 +24,10 @@ type Vector[T any] struct {
 	name string
 	opts Options
 
+	// prefName caches the prefetch-process name ("<name>.prefetch") so
+	// the iterator hot path does not format it per fetch.
+	prefName string
+
 	shards []vshard // sorted by lo
 	length uint64
 

@@ -71,6 +71,7 @@ const (
 	evTagged                   // run tfn(tag)
 	evResume                   // resume p (already un-blocked by wake)
 	evWakeParked               // un-block and resume p (Sleep expiry)
+	evStart                    // first resume of a freshly spawned p
 )
 
 // eventLess orders events by (time, insertion sequence).
@@ -112,6 +113,15 @@ type Kernel struct {
 	curr      *Proc
 	processed uint64
 	stopFlag  bool
+
+	// Worker pool for the spawn-run-die process pattern (RPC handlers,
+	// migration copiers, per-task workers). Each worker is a goroutine,
+	// its resume channel, and a Proc struct, all created once and reused
+	// across process lifetimes; a finished process returns its worker to
+	// the free list instead of letting the goroutine die. A worker whose
+	// process panicked is discarded, never pooled.
+	free    []*worker
+	created uint64 // workers (goroutines) ever created
 }
 
 type yieldMsg struct {
@@ -304,37 +314,119 @@ func (k *Kernel) Every(t0 Time, period time.Duration, fn func() bool) {
 	k.Schedule(at, tick)
 }
 
+// worker is a pooled execution vehicle for simulated processes: one
+// goroutine, one resume channel, and one Proc struct, created together
+// and reused across process lifetimes. Between lifetimes the goroutine
+// parks on the resume channel inside loop; handing it a new fn costs a
+// channel send instead of a goroutine creation. The unbuffered resume
+// channel orders every kernel-side write to w.p/w.fn before the worker
+// goroutine reads them, so reuse is race-free.
+type worker struct {
+	k      *Kernel
+	resume chan struct{}
+	p      *Proc
+	fn     func(p *Proc) // next body to run; nil send retires the worker
+}
+
+func (w *worker) loop() {
+	for {
+		<-w.resume
+		if w.fn == nil {
+			return // retired by Kernel.Close
+		}
+		if !w.runOne() {
+			return // body panicked; this goroutine is done for
+		}
+	}
+}
+
+// runOne executes one process lifetime and reports whether the worker
+// may be reused. A panic in the body is captured and forwarded to the
+// kernel, and the worker goroutine exits: its internal state is
+// suspect, so the pool never sees it again.
+func (w *worker) runOne() (ok bool) {
+	p, fn := w.p, w.fn
+	w.fn = nil
+	defer func() {
+		msg := yieldMsg{p: p, done: true}
+		if r := recover(); r != nil {
+			msg.panicked = true
+			msg.panicVal = r
+		}
+		w.k.yield <- msg
+	}()
+	fn(p)
+	return true
+}
+
+// getWorker pops a parked worker off the free list or creates one.
+func (k *Kernel) getWorker() *worker {
+	if n := len(k.free); n > 0 {
+		w := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return w
+	}
+	k.created++
+	w := &worker{k: k, resume: make(chan struct{})}
+	w.p = &Proc{k: k, w: w, resume: w.resume}
+	go w.loop()
+	return w
+}
+
 // Spawn starts a new simulated process running fn. The process begins
 // executing at the current virtual time, after the caller yields back to
 // the kernel.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	k.nextPID++
-	p := &Proc{
-		ID:     k.nextPID,
-		Name:   name,
-		k:      k,
-		resume: make(chan struct{}),
-	}
-	k.live++
-	k.Schedule(k.now, func() { k.startProc(p, fn) })
+	p := k.spawnProc(fn)
+	p.name = name
 	return p
 }
 
-func (k *Kernel) startProc(p *Proc, fn func(p *Proc)) {
-	go func() {
-		<-p.resume
-		defer func() {
-			msg := yieldMsg{p: p, done: true}
-			if r := recover(); r != nil {
-				msg.panicked = true
-				msg.panicVal = r
-			}
-			k.yield <- msg
-		}()
-		fn(p)
-	}()
-	k.resumeAndWait(p)
+// SpawnLazy is Spawn with deferred naming: nameFn runs only if the
+// process name is actually observed (a panic message, debugging). Hot
+// spawn paths use it to avoid a fmt.Sprintf per process.
+func (k *Kernel) SpawnLazy(nameFn func() string, fn func(p *Proc)) *Proc {
+	p := k.spawnProc(fn)
+	p.nameFn = nameFn
+	return p
 }
+
+func (k *Kernel) spawnProc(fn func(p *Proc)) *Proc {
+	w := k.getWorker()
+	p := w.p
+	k.nextPID++
+	p.ID = k.nextPID
+	p.name, p.nameFn = "", nil
+	p.finished = false
+	// parkSeq deliberately survives reuse: it stays monotonic so waiter
+	// handles from the previous lifetime remain stale.
+	w.fn = fn
+	k.live++
+	k.push(k.now, event{p: p, kind: evStart})
+	return p
+}
+
+// Close retires the parked workers on the free list, letting their
+// goroutines exit. Go never reclaims a blocked goroutine, so code that
+// churns through many kernels (benchmark loops, experiment sweeps)
+// should Close each kernel when done with it. The kernel remains usable
+// after Close; new spawns simply create fresh workers.
+func (k *Kernel) Close() {
+	for _, w := range k.free {
+		w.fn = nil
+		w.resume <- struct{}{}
+	}
+	k.free = k.free[:0]
+}
+
+// PooledWorkers reports the number of idle workers on the free list.
+func (k *Kernel) PooledWorkers() int { return len(k.free) }
+
+// WorkersCreated reports how many worker goroutines the kernel has ever
+// created; the gap between this and the number of processes spawned is
+// the pool's hit count.
+func (k *Kernel) WorkersCreated() uint64 { return k.created }
 
 // resumeAndWait transfers control to p and blocks until p parks or
 // finishes. It must only be called from kernel context.
@@ -347,14 +439,17 @@ func (k *Kernel) resumeAndWait(p *Proc) {
 	msg := <-k.yield
 	k.curr = nil
 	if msg.p != p {
-		panic(fmt.Sprintf("sim: yield from %q while running %q", msg.p.Name, p.Name))
+		panic(fmt.Sprintf("sim: yield from %q while running %q", msg.p.Name(), p.Name()))
 	}
 	if msg.done {
 		p.finished = true
 		k.live--
 		if msg.panicked {
-			panic(fmt.Sprintf("sim: process %q panicked at %v: %v", p.Name, k.now, msg.panicVal))
+			// The worker goroutine already exited; drop it on the floor
+			// rather than pooling a worker in an unknown state.
+			panic(fmt.Sprintf("sim: process %q panicked at %v: %v", p.Name(), k.now, msg.panicVal))
 		}
+		k.free = append(k.free, p.w)
 		return
 	}
 	k.blocked++
@@ -386,6 +481,8 @@ func (k *Kernel) Step() bool {
 		k.resumeAndWait(e.p)
 	case evWakeParked:
 		k.blocked--
+		k.resumeAndWait(e.p)
+	case evStart:
 		k.resumeAndWait(e.p)
 	}
 	return true
@@ -427,18 +524,44 @@ func (k *Kernel) Stop() { k.stopFlag = true }
 // deterministically with all other simulated processes under kernel
 // control. All blocking methods must be called only from the process's
 // own goroutine.
+//
+// Proc structs are pooled along with their workers: once a process
+// finishes, its struct may be recycled for a later Spawn with a new ID.
+// Holding a *Proc past the process's completion and calling blocking
+// methods on it is a bug (and now panics via the park guard); waiter
+// handles remain safe because park generations are monotonic across
+// reuse.
 type Proc struct {
 	ID       int64
-	Name     string
 	k        *Kernel
+	w        *worker
 	resume   chan struct{}
 	finished bool
+
+	// Lazy naming: name is computed from nameFn the first time Name is
+	// called, so hot spawn paths never pay for a formatted name that
+	// nobody looks at.
+	name   string
+	nameFn func() string
 
 	// Park-cycle state for waiter handles (see prepark): parkSeq
 	// identifies the current cycle and parkWoken records whether some
 	// waker already won it.
 	parkSeq   uint64
 	parkWoken bool
+}
+
+// Name returns the process name, computing it on first use when the
+// process was spawned with SpawnLazy.
+func (p *Proc) Name() string {
+	if p.name == "" && p.nameFn != nil {
+		p.name = p.nameFn()
+		p.nameFn = nil
+	}
+	if p.name == "" {
+		return fmt.Sprintf("proc-%d", p.ID)
+	}
+	return p.name
 }
 
 // Kernel returns the kernel this process runs on.
@@ -449,6 +572,11 @@ func (p *Proc) Now() Time { return p.k.now }
 
 // park yields to the kernel until some other party wakes this process.
 func (p *Proc) park() {
+	if p.k.curr != p {
+		panic(fmt.Sprintf(
+			"sim: blocking call on process %q from outside its own context: fast handlers and kernel events must not block (sleep, lock, channel ops)",
+			p.Name()))
+	}
 	p.k.yield <- yieldMsg{p: p}
 	<-p.resume
 }

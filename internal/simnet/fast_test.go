@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestHandleFastRoundTrip: a fast handler serves an RPC inline with the
+// same wire costs and reply semantics as a blocking handler.
+func TestHandleFastRoundTrip(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := New(k, testConfig())
+	f.AddNode(1)
+	srv := f.AddNode(2)
+	srv.HandleFast("echo", func(req Message) (Message, error) {
+		return Message{Payload: req.Payload, Bytes: req.Bytes}, nil
+	})
+	var reply Message
+	var done sim.Time
+	k.Spawn("client", func(p *sim.Proc) {
+		var err error
+		reply, err = f.Call(p, 1, 2, "echo", Message{Payload: "hi", Bytes: 500_000})
+		if err != nil {
+			t.Errorf("Call: %v", err)
+		}
+		done = p.Now()
+	})
+	k.Run()
+	if reply.Payload != "hi" {
+		t.Errorf("reply = %v, want hi", reply.Payload)
+	}
+	// Same timing as the blocking echo in TestCallRoundTrip: 0.5 ms each
+	// way + 2x10us latency. Inline dispatch removes host overhead, not
+	// simulated time.
+	want := sim.Time(time.Millisecond + 20*time.Microsecond)
+	if done != want {
+		t.Errorf("round trip = %v, want %v", done, want)
+	}
+	if f.Calls.Value() != 1 {
+		t.Errorf("Calls = %d, want 1", f.Calls.Value())
+	}
+	if f.FastCalls.Value() != 1 {
+		t.Errorf("FastCalls = %d, want 1", f.FastCalls.Value())
+	}
+}
+
+// TestHandleFastWouldBlockFallsBack: a fast handler returning
+// ErrWouldBlock routes that request to the blocking handler.
+func TestHandleFastWouldBlockFallsBack(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	cfg := testConfig()
+	cfg.Latency = 0
+	f := New(k, cfg)
+	f.AddNode(1)
+	srv := f.AddNode(2)
+	fastTried := 0
+	srv.HandleFast("op", func(req Message) (Message, error) {
+		fastTried++
+		if req.Payload == "fast" {
+			return Message{Payload: "from-fast"}, nil
+		}
+		return Message{}, ErrWouldBlock
+	})
+	srv.Handle("op", func(p *sim.Proc, req Message) (Message, error) {
+		p.Sleep(5 * time.Millisecond)
+		return Message{Payload: "from-slow"}, nil
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		reply, err := f.Call(p, 1, 2, "op", Message{Payload: "fast"})
+		if err != nil || reply.Payload != "from-fast" {
+			t.Errorf("fast request: reply=%v err=%v", reply.Payload, err)
+		}
+		start := p.Now()
+		reply, err = f.Call(p, 1, 2, "op", Message{Payload: "slow"})
+		if err != nil || reply.Payload != "from-slow" {
+			t.Errorf("slow request: reply=%v err=%v", reply.Payload, err)
+		}
+		if elapsed := p.Now().Sub(start); elapsed < 5*time.Millisecond {
+			t.Errorf("slow request took %v, want >= 5ms (blocking handler)", elapsed)
+		}
+	})
+	k.Run()
+	if fastTried != 2 {
+		t.Errorf("fast handler tried %d times, want 2", fastTried)
+	}
+	if f.Calls.Value() != 2 || f.FastCalls.Value() != 1 {
+		t.Errorf("Calls = %d FastCalls = %d, want 2 and 1", f.Calls.Value(), f.FastCalls.Value())
+	}
+}
+
+// TestHandleFastWouldBlockNoFallback: declining with no blocking
+// handler registered is an ErrNoHandler, not a hang.
+func TestHandleFastWouldBlockNoFallback(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := New(k, testConfig())
+	f.AddNode(1)
+	srv := f.AddNode(2)
+	srv.HandleFast("op", func(req Message) (Message, error) {
+		return Message{}, ErrWouldBlock
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		if _, err := f.Call(p, 1, 2, "op", Message{}); !errors.Is(err, ErrNoHandler) {
+			t.Errorf("err = %v, want ErrNoHandler", err)
+		}
+	})
+	k.Run()
+}
+
+// TestHandleFastErrorPropagates: a fast handler's error reaches the
+// caller like a blocking handler's would.
+func TestHandleFastErrorPropagates(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := New(k, testConfig())
+	f.AddNode(1)
+	srv := f.AddNode(2)
+	errBoom := errors.New("boom")
+	srv.HandleFast("fail", func(req Message) (Message, error) {
+		return Message{}, errBoom
+	})
+	k.Spawn("client", func(p *sim.Proc) {
+		if _, err := f.Call(p, 1, 2, "fail", Message{}); !errors.Is(err, errBoom) {
+			t.Errorf("err = %v, want boom", err)
+		}
+	})
+	k.Run()
+	if f.FastCalls.Value() != 0 {
+		t.Errorf("FastCalls = %d for an error reply, want 0", f.FastCalls.Value())
+	}
+}
+
+// TestHandleFastBlockingPanics: a fast handler that attempts to block
+// must panic with a clear message rather than deadlock the kernel.
+func TestHandleFastBlockingPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := New(k, testConfig())
+	f.AddNode(1)
+	srv := f.AddNode(2)
+	var client *sim.Proc
+	srv.HandleFast("bad", func(req Message) (Message, error) {
+		// Misuse: fast handlers run in kernel context and own no
+		// process; any park attempt must be caught.
+		client.Sleep(time.Millisecond)
+		return Message{}, nil
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from blocking fast handler")
+		}
+		if !strings.Contains(r.(string), "must not block") {
+			t.Fatalf("unexpected panic message: %v", r)
+		}
+	}()
+	client = k.Spawn("client", func(p *sim.Proc) {
+		f.Call(p, 1, 2, "bad", Message{})
+	})
+	k.Run()
+}
+
+// TestCallStateReuse: the pooled per-call state must actually be reused
+// across sequential calls (one allocation's worth of state, many calls).
+func TestCallStateReuse(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := New(k, testConfig())
+	f.AddNode(1)
+	srv := f.AddNode(2)
+	srv.HandleFast("echo", func(req Message) (Message, error) { return req, nil })
+	k.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			if _, err := f.Call(p, 1, 2, "echo", Message{Bytes: 100}); err != nil {
+				t.Errorf("Call %d: %v", i, err)
+				return
+			}
+		}
+	})
+	k.Run()
+	if len(f.callPool) != 1 {
+		t.Errorf("callPool holds %d states after 50 sequential calls, want 1", len(f.callPool))
+	}
+	if f.Calls.Value() != 50 {
+		t.Errorf("Calls = %d, want 50", f.Calls.Value())
+	}
+}

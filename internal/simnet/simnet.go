@@ -28,6 +28,11 @@ var (
 	ErrNoSuchNode = errors.New("simnet: unknown node")
 )
 
+// ErrWouldBlock is returned by a FastHandler to decline a request it
+// cannot serve without blocking. Call transparently falls back to the
+// method's blocking Handler, which runs in a (pooled) simulated process.
+var ErrWouldBlock = errors.New("simnet: fast handler would block")
+
 // Config holds the network's performance parameters.
 type Config struct {
 	// Latency is the one-way propagation delay between any two nodes.
@@ -65,6 +70,15 @@ type Message struct {
 // simulated process and may block (sleep, take locks, call other nodes).
 type Handler func(p *sim.Proc, req Message) (Message, error)
 
+// FastHandler processes an RPC inline in kernel context at the instant
+// the request is delivered: no simulated process is created and no
+// goroutine handoff happens. It must not block — any park attempt
+// (sleep, lock, channel op) panics the kernel with a clear message. A
+// fast handler may decline a particular request by returning
+// ErrWouldBlock, which routes that request to the method's blocking
+// Handler instead.
+type FastHandler func(req Message) (Message, error)
+
 // Node is a machine's attachment to the fabric.
 type Node struct {
 	ID       NodeID
@@ -72,6 +86,7 @@ type Node struct {
 	txFree   sim.Time
 	rxFree   sim.Time
 	handlers map[string]Handler
+	fast     map[string]FastHandler
 	down     bool
 
 	// TxBytes and RxBytes count payload+header bytes through this NIC.
@@ -89,6 +104,13 @@ type Fabric struct {
 	TransferLatency *metrics.Histogram
 	// Calls counts completed RPCs.
 	Calls metrics.Counter
+	// FastCalls counts RPCs served inline by a FastHandler (no handler
+	// process). FastCalls <= Calls.
+	FastCalls metrics.Counter
+
+	// callPool recycles per-Call state (see callState). The pool is a
+	// stack, so reuse order is deterministic.
+	callPool []*callState
 }
 
 // New creates a fabric on the given kernel.
@@ -132,6 +154,20 @@ func (n *Node) Handle(method string, h Handler) {
 		panic(fmt.Sprintf("simnet: duplicate handler %q on node %d", method, n.ID))
 	}
 	n.handlers[method] = h
+}
+
+// HandleFast registers an inline handler for method on this node. A
+// method may carry both a fast and a blocking handler: the fast one
+// runs first and may return ErrWouldBlock to route a request to the
+// blocking one (per request, so the decision can depend on state).
+func (n *Node) HandleFast(method string, h FastHandler) {
+	if _, dup := n.fast[method]; dup {
+		panic(fmt.Sprintf("simnet: duplicate fast handler %q on node %d", method, n.ID))
+	}
+	if n.fast == nil {
+		n.fast = make(map[string]FastHandler)
+	}
+	n.fast[method] = h
 }
 
 // wireTime returns how long size payload bytes occupy a NIC direction.
@@ -218,49 +254,147 @@ func (f *Fabric) TransferAsync(from, to NodeID, size int64, onDelivered func()) 
 	return nil
 }
 
+// callState is one in-flight Call's plumbing, pooled on the Fabric. It
+// carries pre-built closures for every stage of the round trip — request
+// delivery, the (pooled) handler process, reply delivery, completion —
+// so a steady-state RPC allocates nothing: not for the kernel events,
+// not for the handler process (worker pool), not for its name (lazy),
+// and not for the caller's wait (inline Cond slot).
+type callState struct {
+	f      *Fabric
+	from   NodeID
+	to     NodeID
+	method string
+	req    Message
+	h      Handler     // blocking handler, or nil
+	fh     FastHandler // fast handler, or nil
+
+	reply Message
+	err   error
+	done  bool
+	cv    sim.Cond
+
+	deliver func()        // runs when the request lands on the destination
+	finishF func()        // runs when the reply lands back on the caller
+	nameF   func() string // lazy handler-process name ("rpc:method@node")
+	procF   func(p *sim.Proc)
+}
+
+func (f *Fabric) getCall() *callState {
+	if n := len(f.callPool); n > 0 {
+		cs := f.callPool[n-1]
+		f.callPool[n-1] = nil
+		f.callPool = f.callPool[:n-1]
+		return cs
+	}
+	cs := &callState{f: f}
+	cs.deliver = cs.onDelivered
+	cs.finishF = cs.onReplyDelivered
+	cs.nameF = cs.procName
+	cs.procF = cs.runProc
+	return cs
+}
+
+// putCall returns cs to the pool. Only the owning Call may do this,
+// after its wait completes: every closure stage has run by then, so
+// nothing can touch cs afterwards.
+func (f *Fabric) putCall(cs *callState) {
+	cs.req, cs.reply = Message{}, Message{}
+	cs.h, cs.fh, cs.err = nil, nil, nil
+	cs.method = ""
+	cs.done = false
+	f.callPool = append(f.callPool, cs)
+}
+
+func (cs *callState) procName() string {
+	return fmt.Sprintf("rpc:%s@%d", cs.method, cs.to)
+}
+
+// onDelivered runs in kernel context when the request reaches the
+// destination node. The fast path serves the RPC inline; everything
+// else spawns the blocking handler in a pooled process.
+func (cs *callState) onDelivered() {
+	if cs.fh != nil {
+		reply, err := cs.fh(cs.req)
+		if err == nil || !errors.Is(err, ErrWouldBlock) {
+			if err == nil {
+				cs.f.FastCalls.Inc()
+			}
+			cs.sendReply(reply, err)
+			return
+		}
+		if cs.h == nil {
+			cs.sendReply(Message{}, fmt.Errorf(
+				"%w: fast handler for %q on node %d declined and no blocking handler is registered",
+				ErrNoHandler, cs.method, cs.to))
+			return
+		}
+	}
+	cs.f.k.SpawnLazy(cs.nameF, cs.procF)
+}
+
+func (cs *callState) runProc(hp *sim.Proc) {
+	reply, err := cs.h(hp, cs.req)
+	cs.sendReply(reply, err)
+}
+
+// sendReply routes the handler's result back to the caller, charging
+// the return wire time for cross-node success replies (errors complete
+// immediately, as before).
+func (cs *callState) sendReply(reply Message, err error) {
+	if err != nil || cs.from == cs.to {
+		cs.finish(reply, err)
+		return
+	}
+	cs.reply = reply // parked here while the reply crosses the wire
+	if terr := cs.f.TransferAsync(cs.to, cs.from, reply.Bytes, cs.finishF); terr != nil {
+		cs.finish(Message{}, terr)
+	}
+}
+
+func (cs *callState) onReplyDelivered() { cs.finish(cs.reply, nil) }
+
+func (cs *callState) finish(reply Message, err error) {
+	cs.reply, cs.err = reply, err
+	cs.done = true
+	cs.cv.Signal()
+}
+
 // Call performs a synchronous RPC: the request payload travels the wire,
-// the handler runs on the destination node in its own process, and the
+// the handler runs on the destination node — inline via a FastHandler
+// when one is registered, otherwise in its own pooled process — and the
 // reply travels back. The calling process blocks for the round trip.
 func (f *Fabric) Call(p *sim.Proc, from, to NodeID, method string, req Message) (Message, error) {
 	_, dst, err := f.checkPath(from, to)
 	if err != nil {
 		return Message{}, err
 	}
-	h, ok := dst.handlers[method]
-	if !ok {
+	fh := dst.fast[method]
+	h, hasH := dst.handlers[method]
+	if fh == nil && !hasH {
 		return Message{}, fmt.Errorf("%w: %q on node %d", ErrNoHandler, method, to)
 	}
 
 	// Fixed software overhead on the caller side.
 	p.Sleep(f.cfg.RPCOverhead)
 
-	fut := sim.NewFuture[Message]()
-	runHandler := func() {
-		f.k.Spawn(fmt.Sprintf("rpc:%s@%d", method, to), func(hp *sim.Proc) {
-			reply, herr := h(hp, req)
-			if herr != nil {
-				fut.Set(Message{}, herr)
-				return
-			}
-			if from == to {
-				fut.Set(reply, nil)
-				return
-			}
-			if terr := f.TransferAsync(to, from, reply.Bytes, func() { fut.Set(reply, nil) }); terr != nil {
-				fut.Set(Message{}, terr)
-			}
-		})
-	}
+	cs := f.getCall()
+	cs.from, cs.to, cs.method, cs.req, cs.h, cs.fh = from, to, method, req, h, fh
 
 	if from == to {
-		f.k.Schedule(f.k.Now(), runHandler)
-	} else if terr := f.TransferAsync(from, to, req.Bytes, runHandler); terr != nil {
+		f.k.Schedule(f.k.Now(), cs.deliver)
+	} else if terr := f.TransferAsync(from, to, req.Bytes, cs.deliver); terr != nil {
+		f.putCall(cs)
 		return Message{}, terr
 	}
 
-	reply, err := fut.Get(p)
-	if err != nil {
-		return Message{}, err
+	for !cs.done {
+		cs.cv.Wait(p)
+	}
+	reply, rerr := cs.reply, cs.err
+	f.putCall(cs)
+	if rerr != nil {
+		return Message{}, rerr
 	}
 	f.Calls.Inc()
 	return reply, nil
