@@ -1,0 +1,127 @@
+// Command benchdiff compares BENCH_<id>.json cost records produced by
+// `quicksand-bench -json` against a committed baseline, and fails when
+// a candidate regresses.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.10] baselineDir candidateDir id...
+//
+// For each experiment ID it reads BENCH_<id>.json from both
+// directories and compares:
+//
+//   - events_processed: must match the baseline within ±tol in either
+//     direction — kernel event counts are deterministic, so a change
+//     beyond noise means the simulation's behaviour changed, faster or
+//     slower.
+//   - allocs: must not exceed the baseline by more than tol. Falling
+//     below is an improvement and passes; heap allocation counts are
+//     exact only for -par 1 runs, which is what CI records.
+//   - wall_ms: reported for context, never gated — wall clock depends
+//     on the host.
+//
+// Exit status is 1 if any comparison fails, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// benchStats mirrors the record written by quicksand-bench -json.
+type benchStats struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Events uint64  `json:"events_processed"`
+	Allocs uint64  `json:"allocs"`
+}
+
+func readStats(dir, id string) (benchStats, error) {
+	var st benchStats
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, nil
+}
+
+// relDelta returns (cand-base)/base; +0.10 means 10% above baseline.
+func relDelta(base, cand uint64) float64 {
+	if base == 0 {
+		if cand == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(cand)/float64(base) - 1
+}
+
+// compare checks one experiment's candidate stats against its baseline
+// and returns human-readable failure reasons (empty = pass).
+func compare(base, cand benchStats, tol float64) []string {
+	// Small epsilon so a candidate sitting exactly at the tolerance
+	// boundary passes despite float rounding (1100/1000-1 > 0.10).
+	tol += 1e-9
+	var fails []string
+	if d := relDelta(base.Events, cand.Events); d > tol || d < -tol {
+		fails = append(fails, fmt.Sprintf(
+			"events_processed %d -> %d (%+.1f%%, tolerance ±%.0f%%): deterministic behaviour changed",
+			base.Events, cand.Events, 100*d, 100*tol))
+	}
+	if d := relDelta(base.Allocs, cand.Allocs); d > tol {
+		fails = append(fails, fmt.Sprintf(
+			"allocs %d -> %d (%+.1f%%, tolerance +%.0f%%): allocation regression",
+			base.Allocs, cand.Allocs, 100*d, 100*tol))
+	}
+	return fails
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "relative tolerance for events and allocs")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.10] baselineDir candidateDir id...")
+		os.Exit(2)
+	}
+	baseDir, candDir, ids := args[0], args[1], args[2:]
+
+	failed := false
+	for _, id := range ids {
+		base, err := readStats(baseDir, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: baseline: %v\n", id, err)
+			failed = true
+			continue
+		}
+		cand, err := readStats(candDir, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: candidate: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fails := compare(base, cand, *tol)
+		status := "ok"
+		if len(fails) > 0 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-14s %s  events %d -> %d (%+.1f%%)  allocs %d -> %d (%+.1f%%)  wall %.0fms -> %.0fms\n",
+			id, status,
+			base.Events, cand.Events, 100*relDelta(base.Events, cand.Events),
+			base.Allocs, cand.Allocs, 100*relDelta(base.Allocs, cand.Allocs),
+			base.WallMS, cand.WallMS)
+		for _, f := range fails {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestCompare(t *testing.T) {
+	base := benchStats{ID: "fig1", WallMS: 100, Events: 1000, Allocs: 500}
+	cases := []struct {
+		name  string
+		cand  benchStats
+		tol   float64
+		fails int
+	}{
+		{"identical", benchStats{Events: 1000, Allocs: 500}, 0.10, 0},
+		{"within tolerance", benchStats{Events: 1050, Allocs: 540}, 0.10, 0},
+		{"events regress high", benchStats{Events: 1200, Allocs: 500}, 0.10, 1},
+		{"events regress low", benchStats{Events: 800, Allocs: 500}, 0.10, 1},
+		{"allocs regress", benchStats{Events: 1000, Allocs: 600}, 0.10, 1},
+		{"allocs improve passes", benchStats{Events: 1000, Allocs: 100}, 0.10, 0},
+		{"both regress", benchStats{Events: 2000, Allocs: 2000}, 0.10, 2},
+		{"exactly at tolerance", benchStats{Events: 1100, Allocs: 550}, 0.10, 0},
+		{"tighter tol catches drift", benchStats{Events: 1050, Allocs: 500}, 0.01, 1},
+		{"wall clock never gated", benchStats{WallMS: 9999, Events: 1000, Allocs: 500}, 0.10, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fails := compare(base, tc.cand, tc.tol)
+			if len(fails) != tc.fails {
+				t.Fatalf("compare(%+v) = %d failures %v, want %d",
+					tc.cand, len(fails), fails, tc.fails)
+			}
+		})
+	}
+}
+
+func TestRelDelta(t *testing.T) {
+	cases := []struct {
+		base, cand uint64
+		want       float64
+	}{
+		{100, 110, 0.10},
+		{100, 90, -0.10},
+		{100, 100, 0},
+		{0, 0, 0},
+		{0, 5, 1},
+	}
+	for _, tc := range cases {
+		got := relDelta(tc.base, tc.cand)
+		diff := got - tc.want
+		if diff < -1e-12 || diff > 1e-12 {
+			t.Errorf("relDelta(%d, %d) = %v, want %v", tc.base, tc.cand, got, tc.want)
+		}
+	}
+}

@@ -23,6 +23,11 @@
 // processed, and heap allocations. Allocation counts are process-wide
 // deltas, so they are exact only at -par 1; under parallel runs they
 // include whatever ran concurrently.
+//
+// -seed N offsets the RNG seeds of the seed-swept experiments (fig2,
+// ext-chaos). Two runs at the same -seed must produce byte-identical
+// output — CI's seed-sweep job enforces this. 0 (the default) keeps
+// the committed seeds that the BENCH_*.json baselines were recorded at.
 package main
 
 import (
@@ -68,6 +73,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit plot-ready CSV time series instead of tables (fig1/fig3)")
 	par := flag.Int("par", 0, "max concurrent host workers for experiments (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<id>.json per experiment (wall clock, events, allocs)")
+	seed := flag.Int64("seed", 0, "seed offset for seed-swept experiments (0 = committed seeds)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	flag.Parse()
@@ -111,6 +117,7 @@ func main() {
 	}
 
 	experiments.SetParallelism(*par)
+	experiments.SetBaseSeed(*seed)
 
 	ids := flag.Args()
 	if len(ids) == 0 {

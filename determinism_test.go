@@ -83,6 +83,37 @@ func TestFig1Deterministic(t *testing.T) {
 	}
 }
 
+func chaosSnapshot(t *testing.T) *experiments.Result {
+	t.Helper()
+	res, err := experiments.Run("ext-chaos", experiments.TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExtChaosDeterministic extends the one-seed-one-behaviour
+// guarantee to fault injection: the same seed must produce the same
+// crash instants, the same drop decisions, the same retry backoffs, and
+// therefore the same recovery — event for event — both at the default
+// seed and under a seed offset.
+func TestExtChaosDeterministic(t *testing.T) {
+	a := chaosSnapshot(t)
+	if a.EventsProcessed == 0 {
+		t.Fatal("ext-chaos did not report kernel event counts")
+	}
+	if len(a.Trace) == 0 {
+		t.Fatal("ext-chaos did not capture a control-plane trace")
+	}
+	compareResults(t, "rep", a, chaosSnapshot(t))
+
+	experiments.SetBaseSeed(3)
+	shifted := chaosSnapshot(t)
+	compareResults(t, "seed 3 rep", shifted, chaosSnapshot(t))
+	experiments.SetBaseSeed(0)
+	compareResults(t, "seed restored", a, chaosSnapshot(t))
+}
+
 // TestFig1DeterministicParallel requires the parallel experiment
 // runner (-par > 1) to produce output identical to a sequential run:
 // each mode's simulation lives on its own kernel and results merge by

@@ -35,6 +35,10 @@ type MachineID int
 // ErrNoMemory is returned when an allocation exceeds free memory.
 var ErrNoMemory = errors.New("cluster: out of memory")
 
+// ErrMachineDown is returned for resource requests against a crashed
+// machine.
+var ErrMachineDown = errors.New("cluster: machine is down")
+
 // MachineConfig sizes a machine.
 type MachineConfig struct {
 	Cores    float64 // CPU capacity in cores
@@ -110,8 +114,8 @@ type Machine struct {
 	cfg MachineConfig
 
 	// CPU processor-sharing state.
-	taskHeap   []*Task  // indexed min-heap on (vfinish, id)
-	attained   float64  // A(t): per-task service accrued since creation, ns
+	taskHeap   []*Task // indexed min-heap on (vfinish, id)
+	attained   float64 // A(t): per-task service accrued since creation, ns
 	nextTaskID int64
 	reserved   float64  // cores taken by high-priority work
 	lastSettle sim.Time // last time attained service was settled
@@ -130,6 +134,13 @@ type Machine struct {
 	taskSlab []Task
 
 	memUsed int64
+
+	// Failure state: a down machine accepts no work and holds no memory.
+	// epoch counts crashes, so bookkeeping done against the pre-crash
+	// machine (a migration's pending FreeMem, a proclet's heap charge)
+	// can detect that its allocation no longer exists.
+	down  bool
+	epoch uint64
 
 	// Accelerators (see gpu.go).
 	gpus      []*GPU
@@ -381,6 +392,51 @@ func (m *Machine) recordUtil() {
 	}
 }
 
+// Down reports whether the machine is crashed.
+func (m *Machine) Down() bool { return m.down }
+
+// Epoch returns the machine's crash count. An allocation made at epoch
+// e is gone — and must not be freed — once Epoch() != e.
+func (m *Machine) Epoch() uint64 { return m.epoch }
+
+// Crash fail-stops the machine: every resident task retires as canceled
+// with its unfinished work as the remainder (so a resilient caller can
+// resubmit it elsewhere), memory contents are lost, and the epoch is
+// bumped. Crashing a down machine is a no-op.
+func (m *Machine) Crash() {
+	if m.down {
+		return
+	}
+	m.settle()
+	m.down = true
+	m.epoch++
+	for len(m.taskHeap) > 0 {
+		t := m.taskHeap[0]
+		m.heapRemove(0)
+		t.remaining = t.vfinish - m.attained
+		t.finished = true
+		t.canceled = true
+		t.done.Broadcast()
+	}
+	m.memUsed = 0
+	if m.MemSeries != nil {
+		m.MemSeries.Add(m.k.Now(), 0)
+	}
+	m.recordUtil()
+	m.reschedule() // no tasks: just invalidates any pending completion
+}
+
+// Restart brings a crashed machine back online with empty memory and no
+// resident tasks. Restarting a live machine is a no-op.
+func (m *Machine) Restart() {
+	if !m.down {
+		return
+	}
+	m.settle()
+	m.down = false
+	m.recordUtil()
+}
+
 // Submit enqueues `work` of single-core CPU time and returns the task
 // handle. The caller typically Waits on it; a controller may Cancel it.
 // Work must be positive.
@@ -398,6 +454,15 @@ func (m *Machine) Submit(work time.Duration) *Task {
 	m.taskSlab = m.taskSlab[1:]
 	t.m = m
 	t.id = m.nextTaskID
+	if m.down {
+		// A dead machine executes nothing: hand back the task already
+		// canceled, with all of its work as the remainder.
+		t.vfinish = m.attained + float64(work)
+		t.remaining = float64(work)
+		t.heapIdx = -1
+		t.finished, t.canceled = true, true
+		return t
+	}
 	t.vfinish = m.attained + float64(work)
 	m.heapPush(t)
 	m.recordUtil()
@@ -432,6 +497,9 @@ func (m *Machine) SetReserved(cores float64) {
 func (m *Machine) AllocMem(bytes int64) error {
 	if bytes < 0 {
 		panic("cluster: negative allocation")
+	}
+	if m.down {
+		return fmt.Errorf("%w: machine %d", ErrMachineDown, m.ID)
 	}
 	if m.memUsed+bytes > m.cfg.MemBytes {
 		return fmt.Errorf("%w: machine %d: %d requested, %d free",

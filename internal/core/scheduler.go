@@ -85,6 +85,8 @@ type Scheduler struct {
 	MemEvictions  metrics.Counter // fast-path memory evacuations
 	Rebalances    metrics.Counter // slow-path load moves
 	AffinityMoves metrics.Counter // slow-path colocation moves
+	Recoveries    metrics.Counter // crash orphans successfully re-placed
+	Sheds         metrics.Counter // crash orphans abandoned for lack of capacity
 }
 
 func newScheduler(sys *System) *Scheduler {
@@ -165,7 +167,7 @@ func (sc *Scheduler) start() {
 func (sc *Scheduler) PlaceMemory(bytes int64) (cluster.MachineID, error) {
 	var best *cluster.Machine
 	for _, m := range sc.sys.Cluster.Machines() {
-		if m.MemFree() < bytes {
+		if m.Down() || m.MemFree() < bytes {
 			continue
 		}
 		if best == nil || m.MemFree() > best.MemFree() {
@@ -234,7 +236,7 @@ func (sc *Scheduler) PlaceCompute() (cluster.MachineID, error) {
 	var best *cluster.Machine
 	bestLoad := math.Inf(1)
 	for _, m := range sc.sys.Cluster.Machines() {
-		if m.AvailCores() <= 0 || m.MemFree() < sc.cfg.ComputeProcletHeap {
+		if m.Down() || m.AvailCores() <= 0 || m.MemFree() < sc.cfg.ComputeProcletHeap {
 			continue
 		}
 		if l := sc.placementLoad(m, 0); l < bestLoad {
@@ -286,6 +288,9 @@ func (sc *Scheduler) movableOn(m cluster.MachineID, kind Kind) []*procInfo {
 // reactCPU evacuates compute proclets from an overloaded machine,
 // launching the migrations in parallel and waiting for them all.
 func (sc *Scheduler) reactCPU(p *sim.Proc, m *cluster.Machine) {
+	if m.Down() {
+		return
+	}
 	avail := m.AvailCores()
 	demand := sc.demandOn(m.ID)
 	if demand <= avail*sc.cfg.CPUHighWater {
@@ -336,7 +341,7 @@ func (sc *Scheduler) pickCPUTarget(src cluster.MachineID, d float64, added map[c
 	var best cluster.MachineID = -1
 	bestLoad := math.Inf(1)
 	for _, m := range sc.sys.Cluster.Machines() {
-		if m.ID == src || m.AvailCores() <= 0 || m.MemFree() < heap {
+		if m.ID == src || m.Down() || m.AvailCores() <= 0 || m.MemFree() < heap {
 			continue
 		}
 		load := sc.computeLoad(m, added[m.ID]+d)
@@ -350,7 +355,7 @@ func (sc *Scheduler) pickCPUTarget(src cluster.MachineID, d float64, added map[c
 // reactMem evacuates memory proclets from a machine near its memory
 // capacity, until pressure drops below the high water mark.
 func (sc *Scheduler) reactMem(p *sim.Proc, m *cluster.Machine) {
-	if m.MemPressure() <= sc.cfg.MemHighWater {
+	if m.Down() || m.MemPressure() <= sc.cfg.MemHighWater {
 		return
 	}
 	victims := sc.movableOn(m.ID, KindMemory)
@@ -378,7 +383,7 @@ func (sc *Scheduler) pickMemTarget(src cluster.MachineID, bytes int64) cluster.M
 	var best cluster.MachineID = -1
 	var bestFree int64 = -1
 	for _, m := range sc.sys.Cluster.Machines() {
-		if m.ID == src {
+		if m.ID == src || m.Down() {
 			continue
 		}
 		after := float64(m.MemUsed()+bytes) / float64(m.MemCapacity())
@@ -428,6 +433,9 @@ func (sc *Scheduler) rebalance(p *sim.Proc) {
 		var hi, lo *cluster.Machine
 		hiLoad, loLoad := -1.0, math.Inf(1)
 		for _, m := range machines {
+			if m.Down() {
+				continue
+			}
 			l := sc.computeLoad(m, 0)
 			if l > hiLoad {
 				hi, hiLoad = m, l
@@ -504,7 +512,7 @@ func (sc *Scheduler) colocate(p *sim.Proc) {
 			continue
 		}
 		target := sc.sys.Cluster.Machine(peerPr.Location())
-		if target.MemFree() < pi.pr.HeapBytes() {
+		if target.Down() || target.MemFree() < pi.pr.HeapBytes() {
 			continue
 		}
 		if pi.kind == KindCompute && sc.computeLoad(target, pi.demand()) >= sc.cfg.CPULowWater {

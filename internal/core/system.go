@@ -110,7 +110,8 @@ type System struct {
 	Sched   *Scheduler
 	Trace   *trace.Log
 
-	cfg Config
+	cfg     Config
+	rebuild Rebuilder // memory-proclet reconstruction hook (recovery.go)
 }
 
 // NewSystem builds a Quicksand system over machines with the given

@@ -7,8 +7,8 @@ import (
 
 func TestListAndTitles(t *testing.T) {
 	ids := List()
-	if len(ids) != 15 {
-		t.Fatalf("List() = %v, want 15 experiments", ids)
+	if len(ids) != 16 {
+		t.Fatalf("List() = %v, want 16 experiments", ids)
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -381,5 +381,42 @@ func TestFig1SeriesCSV(t *testing.T) {
 	abl.WriteCSV(&empty)
 	if empty.Len() != 0 {
 		t.Error("ablation produced CSV output")
+	}
+}
+
+func TestExtChaosShape(t *testing.T) {
+	res, err := Run("ext-chaos", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["crashes"] != 2 {
+		t.Errorf("crashes = %v, want 2 (scripted schedule)", res.Values["crashes"])
+	}
+	if res.Values["recoveries"] < 4 {
+		t.Errorf("recoveries = %v, want >= 4 (stores + compute re-placed)", res.Values["recoveries"])
+	}
+	// The headline guarantees: no acked object is lost (the rebuilder
+	// replays the durable source), and goodput recovers to at least 90%
+	// of the no-fault run after the final fault heals.
+	if res.Values["lost"] != 0 {
+		t.Errorf("lost = %v acked objects, want 0", res.Values["lost"])
+	}
+	if rf := res.Values["recovered_frac"]; rf < 0.9 {
+		t.Errorf("recovered_frac = %.2f, want >= 0.9", rf)
+	}
+	if rms := res.Values["recovery_ms"]; rms < 0 {
+		t.Error("goodput never re-reached the recovery threshold after the final heal")
+	}
+	// Faults must actually bite: the worst fault-window bucket is well
+	// below the no-fault mean.
+	if dip := res.Values["dip_frac"]; dip > 0.7 {
+		t.Errorf("dip_frac = %.2f, want <= 0.7 (faults should dent goodput)", dip)
+	}
+	if res.Values["ops"] <= 0 || res.Values["ops"] >= res.Values["ops_nofault"] {
+		t.Errorf("ops = %v vs no-fault %v: chaos run should complete fewer ops",
+			res.Values["ops"], res.Values["ops_nofault"])
+	}
+	if len(res.Series["goodput_chaos"]) == 0 || len(res.Series["goodput_nofault"]) == 0 {
+		t.Error("missing goodput series")
 	}
 }

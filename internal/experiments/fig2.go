@@ -101,6 +101,7 @@ type fig2Outcome struct {
 func fig2Pipeline(cfg fig2Cfg, machines []cluster.MachineConfig, imgs []workload.Image) (fig2Outcome, error) {
 	var out fig2Outcome
 	sysCfg := core.DefaultConfig()
+	sysCfg.Seed = seeded(sysCfg.Seed)
 	sys := core.NewSystem(sysCfg, machines)
 	defer sys.Close()
 	sys.Start()
@@ -178,7 +179,7 @@ func fig2Pipeline(cfg fig2Cfg, machines []cluster.MachineConfig, imgs []workload
 
 func runFig2(scale Scale) (*Result, error) {
 	cfg := fig2Config(scale)
-	imgs := workload.GenImages(rand.New(rand.NewSource(42)), cfg.images, cfg.meanBytes, cfg.meanCPU, cfg.spread)
+	imgs := workload.GenImages(rand.New(rand.NewSource(seeded(42))), cfg.images, cfg.meanBytes, cfg.meanCPU, cfg.spread)
 	res := newResult("fig2", "Figure 2: preprocessing time parity across imbalanced machine splits")
 	res.addf("corpus: %d images, %.1f GiB, %.0f core-seconds of preprocessing",
 		cfg.images, float64(workload.TotalBytes(imgs))/(1<<30), workload.TotalCPU(imgs))
@@ -247,7 +248,7 @@ func runFig2(scale Scale) (*Result, error) {
 }
 
 func runStatic(cfg fig2Cfg, machineCfgs []cluster.MachineConfig, imgs []workload.Image, frac []float64) baseline.StaticResult {
-	k := sim.NewKernel(7)
+	k := sim.NewKernel(seeded(7))
 	defer k.Close()
 	c := cluster.New(k, simnet.DefaultConfig())
 	var ms []*cluster.Machine

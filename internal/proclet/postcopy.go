@@ -90,16 +90,26 @@ func (rt *Runtime) MigrateLazy(p *sim.Proc, id ID, to cluster.MachineID) error {
 
 	// Background copy: stream the heap, then settle the accounting.
 	heap := pr.heapBytes
+	srcEpoch := rt.Cluster.Machine(from).Epoch()
 	rt.k.Spawn("postcopy/"+pr.name, func(bp *sim.Proc) {
-		if err := rt.Cluster.Fabric.Transfer(bp, simnet.NodeID(from), simnet.NodeID(to), heap); err != nil {
-			// The copy failed (partition): the proclet stays remote-
-			// dependent; retry until the fabric heals.
-			for err != nil {
-				bp.Sleep(time.Millisecond)
-				err = rt.Cluster.Fabric.Transfer(bp, simnet.NodeID(from), simnet.NodeID(to), heap)
+		err := rt.Cluster.Fabric.Transfer(bp, simnet.NodeID(from), simnet.NodeID(to), heap)
+		// Transient failures (partition, timeout): the proclet stays
+		// remote-dependent; retry until the fabric heals. Stop for good
+		// if the proclet itself is gone — a crash on either end orphaned
+		// or killed it, and recovery owns the accounting from there.
+		for err != nil {
+			if pr.state == StateDead || pr.state == StateOrphaned || !pr.lazyWindow {
+				return
 			}
+			bp.Sleep(time.Millisecond)
+			err = rt.Cluster.Fabric.Transfer(bp, simnet.NodeID(from), simnet.NodeID(to), heap)
 		}
-		rt.Cluster.Machine(from).FreeMem(heap)
+		if src := rt.Cluster.Machine(from); src.Epoch() == srcEpoch {
+			src.FreeMem(heap)
+		}
+		if !pr.lazyWindow {
+			return // crashed mid-copy; nothing left to settle
+		}
 		pr.lazyWindow = false
 		pr.residentAt = rt.k.Now()
 		rt.LazyResidence.ObserveDuration(rt.k.Now().Sub(start))

@@ -39,6 +39,7 @@ var (
 	ErrMoved     = errors.New("proclet: proclet moved")
 	ErrMigrating = errors.New("proclet: migration already in progress")
 	ErrRetries   = errors.New("proclet: invocation retries exhausted")
+	ErrCrashed   = errors.New("proclet: hosting machine crashed")
 )
 
 // State is a proclet's lifecycle state.
@@ -49,6 +50,10 @@ const (
 	StateRunning State = iota
 	StateMigrating
 	StateDead
+	// StateOrphaned means the hosting machine crashed out from under the
+	// proclet: its heap contents are gone and it serves nothing until
+	// recovery Restores it onto a live machine (or Abandons it).
+	StateOrphaned
 )
 
 func (s State) String() string {
@@ -59,6 +64,8 @@ func (s State) String() string {
 		return "migrating"
 	case StateDead:
 		return "dead"
+	case StateOrphaned:
+		return "orphaned"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -86,6 +93,11 @@ type Proclet struct {
 	rt      *Runtime
 	machine cluster.MachineID
 	state   State
+
+	// allocEpoch is the hosting machine's crash epoch at the time the
+	// heap was charged to it. A mismatch means the machine crashed since
+	// (wiping the allocation), so the heap must not be freed against it.
+	allocEpoch uint64
 
 	heapBytes   int64
 	methods     map[string]Method
@@ -171,6 +183,9 @@ func (pr *Proclet) HandleFast(method string, fn FastMethod) {
 func (pr *Proclet) GrowHeap(delta int64) error {
 	if pr.state == StateDead {
 		return ErrDead
+	}
+	if pr.state == StateOrphaned {
+		return ErrCrashed
 	}
 	m := pr.rt.Cluster.Machine(pr.machine)
 	if delta >= 0 {
@@ -273,7 +288,9 @@ func (t *Thread) Compute(d time.Duration) {
 		switch pr.state {
 		case StateDead:
 			return
-		case StateMigrating:
+		case StateMigrating, StateOrphaned:
+			// Suspended: a migration commit or a crash-recovery Restore
+			// resumes the remainder on the proclet's new machine.
 			pr.unblocked.Wait(t.proc)
 			continue
 		}

@@ -35,6 +35,21 @@ type Config struct {
 	// post-copy (CXL-style) migration window (§5: "postponing the
 	// copying of data").
 	LazyRemotePenalty time.Duration
+
+	// InvokeTimeout bounds each remote invocation attempt. Zero defers
+	// to the fabric's default deadline (simnet.Config.CallTimeout);
+	// if that is also zero, attempts have no deadline.
+	InvokeTimeout time.Duration
+	// RetryBackoffBase is the delay before the first retry after a
+	// retryable failure (ErrNodeDown, ErrTimeout); it doubles per
+	// attempt. Routing chases (ErrMoved) never back off.
+	RetryBackoffBase time.Duration
+	// RetryBackoffMax caps the exponential backoff.
+	RetryBackoffMax time.Duration
+	// RetryJitter is the fraction of each backoff randomized (0..1),
+	// drawn from the kernel RNG so schedules stay deterministic per
+	// seed. A delay d becomes uniform in [d*(1-j/2), d*(1+j/2)].
+	RetryJitter float64
 }
 
 // DefaultConfig matches Nu's reported costs: sub-millisecond migration
@@ -48,6 +63,9 @@ func DefaultConfig() Config {
 		LocalInvokeOverhead:    100 * time.Nanosecond,
 		MaxInvokeRetries:       16,
 		LazyRemotePenalty:      4 * time.Microsecond,
+		RetryBackoffBase:       100 * time.Microsecond,
+		RetryBackoffMax:        2 * time.Millisecond,
+		RetryJitter:            0.5,
 	}
 }
 
@@ -80,6 +98,11 @@ type Runtime struct {
 	// FastInvokes counts invocations of FastMethods served without a
 	// Ctx or handler process (both local and remote-inline).
 	FastInvokes metrics.Counter
+	// InvokeRetries counts backoff retries after retryable invocation
+	// failures (node down, timeout); InvokeTimeouts counts attempts
+	// that resolved with simnet.ErrTimeout.
+	InvokeRetries  metrics.Counter
+	InvokeTimeouts metrics.Counter
 
 	// reqPool recycles invokeReq wire structs so steady-state remote
 	// invocations allocate nothing for the request envelope; ctxPool
@@ -104,6 +127,17 @@ type invokeReq struct {
 func NewRuntime(c *cluster.Cluster, cfg Config, tl *trace.Log) *Runtime {
 	if cfg.MaxInvokeRetries <= 0 {
 		cfg.MaxInvokeRetries = 16
+	}
+	if cfg.RetryBackoffBase <= 0 {
+		cfg.RetryBackoffBase = 100 * time.Microsecond
+	}
+	if cfg.RetryBackoffMax < cfg.RetryBackoffBase {
+		cfg.RetryBackoffMax = 2 * time.Millisecond
+	}
+	if cfg.RetryJitter < 0 {
+		cfg.RetryJitter = 0
+	} else if cfg.RetryJitter > 1 {
+		cfg.RetryJitter = 1
 	}
 	rt := &Runtime{
 		Cluster:          c,
@@ -152,14 +186,15 @@ func (rt *Runtime) Spawn(name string, m cluster.MachineID, heapBytes int64) (*Pr
 	}
 	rt.nextID++
 	pr := &Proclet{
-		id:        rt.nextID,
-		name:      name,
-		rt:        rt,
-		machine:   m,
-		heapBytes: heapBytes,
-		methods:   make(map[string]Method),
-		tasks:     make(map[*cluster.Task]struct{}),
-		commBytes: make(map[ID]int64),
+		id:         rt.nextID,
+		name:       name,
+		rt:         rt,
+		machine:    m,
+		allocEpoch: mach.Epoch(),
+		heapBytes:  heapBytes,
+		methods:    make(map[string]Method),
+		tasks:      make(map[*cluster.Task]struct{}),
+		commBytes:  make(map[ID]int64),
 	}
 	rt.directory[pr.id] = m
 	rt.local[m][pr.id] = pr
@@ -178,7 +213,7 @@ func (rt *Runtime) Destroy(id ID) error {
 		return ErrMigrating
 	}
 	m := pr.machine
-	rt.Cluster.Machine(m).FreeMem(pr.heapBytes)
+	rt.freeHeap(pr)
 	pr.heapBytes = 0
 	pr.state = StateDead
 	for task := range pr.tasks {
@@ -276,7 +311,35 @@ func (rt *Runtime) putCtx(c *Ctx) {
 	rt.ctxPool = append(rt.ctxPool, c)
 }
 
+// backoffDelay returns the capped exponential backoff for the given
+// retry ordinal (0 = first retry), with deterministic jitter drawn from
+// the kernel RNG.
+func (rt *Runtime) backoffDelay(retry int) time.Duration {
+	d := rt.cfg.RetryBackoffBase
+	if retry >= 30 {
+		d = rt.cfg.RetryBackoffMax
+	} else {
+		d <<= uint(retry)
+		if d > rt.cfg.RetryBackoffMax || d <= 0 {
+			d = rt.cfg.RetryBackoffMax
+		}
+	}
+	if j := rt.cfg.RetryJitter; j > 0 {
+		d = time.Duration(float64(d) * (1 - j/2 + j*rt.k.Rand().Float64()))
+	}
+	return d
+}
+
+// retryable reports whether an invocation error is worth retrying after
+// a backoff: the node may restart, the partition may heal, or recovery
+// may re-place the target elsewhere.
+func retryable(err error) bool {
+	return errors.Is(err, simnet.ErrNodeDown) || errors.Is(err, simnet.ErrTimeout)
+}
+
 func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invokeReq) (Msg, error) {
+	var lastErr error
+	retries := 0
 	for attempt := 0; attempt < rt.cfg.MaxInvokeRetries; attempt++ {
 		loc, err := rt.locate(p, fromMachine, req.Target)
 		if err != nil {
@@ -296,18 +359,37 @@ func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invok
 			rt.LocalInvokes.Inc()
 			return rt.exec(p, pr, req.From, req.Method, req.Arg)
 		}
-		reply, err := rt.Cluster.Fabric.Call(p,
+		reply, err := rt.Cluster.Fabric.CallWithTimeout(p,
 			simnet.NodeID(fromMachine), simnet.NodeID(loc),
-			"proclet.invoke", simnet.Message{Payload: req, Bytes: req.Arg.Bytes})
+			"proclet.invoke", simnet.Message{Payload: req, Bytes: req.Arg.Bytes},
+			rt.cfg.InvokeTimeout)
 		if errors.Is(err, ErrMoved) {
 			delete(rt.caches[fromMachine], req.Target)
 			continue
 		}
 		if err != nil {
-			return Msg{}, err
+			if !retryable(err) {
+				return Msg{}, err
+			}
+			// The target's machine is down, or the message was lost: the
+			// cached location may be stale (recovery re-places orphans),
+			// so drop it and retry after a capped, jittered backoff.
+			if errors.Is(err, simnet.ErrTimeout) {
+				rt.InvokeTimeouts.Inc()
+			}
+			lastErr = err
+			delete(rt.caches[fromMachine], req.Target)
+			rt.InvokeRetries.Inc()
+			p.Sleep(rt.backoffDelay(retries))
+			retries++
+			continue
 		}
 		rt.RemoteInvokes.Inc()
 		return reply, nil
+	}
+	if lastErr != nil {
+		return Msg{}, fmt.Errorf("%w: target %d method %q (last: %w)",
+			ErrRetries, req.Target, req.Method, lastErr)
 	}
 	return Msg{}, fmt.Errorf("%w: target %d method %q", ErrRetries, req.Target, req.Method)
 }
@@ -416,6 +498,9 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 	if pr.state == StateMigrating || pr.lazyWindow {
 		return ErrMigrating
 	}
+	if pr.state == StateOrphaned {
+		return ErrCrashed
+	}
 	from := pr.machine
 	if from == to {
 		return nil
@@ -424,9 +509,13 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 	if dst == nil {
 		return fmt.Errorf("%w: machine %d", ErrNotFound, to)
 	}
+	if dst.Down() {
+		return fmt.Errorf("%w: migration destination %d", simnet.ErrNodeDown, to)
+	}
 	if err := dst.AllocMem(pr.heapBytes); err != nil {
 		return err
 	}
+	dstEpoch := dst.Epoch()
 
 	start := rt.k.Now()
 	pr.state = StateMigrating
@@ -448,9 +537,27 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 	p.Sleep(pin)
 
 	// Copy the heap.
-	if err := rt.Cluster.Fabric.Transfer(p, simnet.NodeID(from), simnet.NodeID(to), pr.heapBytes); err != nil {
-		// Roll back: the proclet stays where it was.
-		dst.FreeMem(pr.heapBytes)
+	err := rt.Cluster.Fabric.Transfer(p, simnet.NodeID(from), simnet.NodeID(to), pr.heapBytes)
+	if pr.state != StateMigrating {
+		// The source crashed mid-copy and CrashMachine orphaned the
+		// proclet underneath us: the half-copied destination image is
+		// abandoned. Recovery owns the proclet now.
+		if dst.Epoch() == dstEpoch {
+			dst.FreeMem(pr.heapBytes)
+		}
+		return fmt.Errorf("%w: source machine %d failed during migration", ErrCrashed, from)
+	}
+	if err == nil && dst.Down() {
+		// The copy "landed" on a machine that died before commit.
+		err = fmt.Errorf("%w: migration destination %d", simnet.ErrNodeDown, to)
+	}
+	if err != nil {
+		// Roll back: the proclet stays where it was. The destination's
+		// reservation is released only if the destination has not
+		// crashed since (a crash already wiped it).
+		if dst.Epoch() == dstEpoch {
+			dst.FreeMem(pr.heapBytes)
+		}
 		pr.state = StateRunning
 		pr.unblocked.Broadcast()
 		return err
@@ -464,6 +571,7 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 	rt.caches[from][id] = to
 	rt.caches[to][id] = to
 	pr.machine = to
+	pr.allocEpoch = dstEpoch
 	pr.state = StateRunning
 	pr.unblocked.Broadcast()
 

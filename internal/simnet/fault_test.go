@@ -1,0 +1,377 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func echoFabric(k *sim.Kernel, cfg Config) *Fabric {
+	f := New(k, cfg)
+	f.AddNode(1)
+	n2 := f.AddNode(2)
+	n2.Handle("echo", func(p *sim.Proc, req Message) (Message, error) {
+		return req, nil
+	})
+	n2.Handle("slow", func(p *sim.Proc, req Message) (Message, error) {
+		p.Sleep(time.Millisecond)
+		return req, nil
+	})
+	return f
+}
+
+func TestCallTimesOutOnPartition(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := echoFabric(k, testConfig())
+	f.SetLinkFault(1, 2, LinkFault{Partitioned: true})
+	var took sim.Time
+	var err error
+	k.Spawn("caller", func(p *sim.Proc) {
+		start := p.Now()
+		_, err = f.CallWithTimeout(p, 1, 2, "echo", Message{Bytes: 100}, 500*time.Microsecond)
+		took = p.Now() - start
+	})
+	k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if took != sim.Time(500*time.Microsecond) {
+		t.Errorf("call resolved after %v, want exactly the 500us deadline", took)
+	}
+	if f.Timeouts.Value() != 1 {
+		t.Errorf("Timeouts = %d, want 1", f.Timeouts.Value())
+	}
+}
+
+func TestCallOnPartitionWithoutDeadlineFailsImmediately(t *testing.T) {
+	// No deadline armed anywhere: the loss must still resolve the call
+	// (the no-hang guarantee) rather than strand the caller.
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := echoFabric(k, testConfig())
+	f.SetLinkFault(1, 2, LinkFault{Partitioned: true})
+	var err error
+	done := false
+	k.Spawn("caller", func(p *sim.Proc) {
+		_, err = f.Call(p, 1, 2, "echo", Message{Bytes: 100})
+		done = true
+	})
+	k.Run()
+	if !done {
+		t.Fatal("caller hung on a partitioned link with no deadline")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestDefaultCallTimeoutFromConfig(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	cfg := testConfig()
+	cfg.CallTimeout = 300 * time.Microsecond
+	f := echoFabric(k, cfg)
+	f.SetLinkFault(1, 2, LinkFault{Partitioned: true})
+	var took sim.Time
+	var err error
+	k.Spawn("caller", func(p *sim.Proc) {
+		start := p.Now()
+		_, err = f.Call(p, 1, 2, "echo", Message{Bytes: 100})
+		took = p.Now() - start
+	})
+	k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if took != sim.Time(300*time.Microsecond) {
+		t.Errorf("call resolved after %v, want the 300us fabric default", took)
+	}
+}
+
+func TestReplyLossResolvesViaDeadline(t *testing.T) {
+	// Partition the link while the handler is running: the request got
+	// through, the reply is eaten, and the deadline resolves the call.
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := echoFabric(k, testConfig())
+	var err error
+	k.Spawn("caller", func(p *sim.Proc) {
+		_, err = f.CallWithTimeout(p, 1, 2, "slow", Message{Bytes: 100}, 5*time.Millisecond)
+	})
+	k.Schedule(sim.Time(500*time.Microsecond), func() {
+		f.SetLinkFault(1, 2, LinkFault{Partitioned: true})
+	})
+	k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout (reply lost)", err)
+	}
+}
+
+// TestPartitionHealOrdering drives one call per phase of a
+// partition/heal sequence and checks each call's outcome is decided by
+// the link state at the instants its messages are sent.
+func TestPartitionHealOrdering(t *testing.T) {
+	cases := []struct {
+		name                string
+		partitionAt, healAt sim.Time // fault window
+		callAt              sim.Time
+		wantErr             error
+	}{
+		{"before-partition", 1000_000, 2_000_000, 0, nil},
+		{"inside-window", 0, 2_000_000, 1_000_000, ErrTimeout},
+		{"after-heal", 0, 1_000_000, 2_000_000, nil},
+		// Request sent during the partition is lost for good: healing
+		// the link later cannot resurrect it.
+		{"heal-cannot-resurrect", 0, 200_000, 100_000, ErrTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.NewKernel(1)
+			defer k.Close()
+			f := echoFabric(k, testConfig())
+			k.Schedule(tc.partitionAt, func() {
+				f.SetLinkFault(1, 2, LinkFault{Partitioned: true})
+			})
+			k.Schedule(tc.healAt, func() { f.ClearLinkFault(1, 2) })
+			var err error
+			called := false
+			k.Schedule(tc.callAt, func() {
+				k.Spawn("caller", func(p *sim.Proc) {
+					_, err = f.CallWithTimeout(p, 1, 2, "echo", Message{Bytes: 10}, 5*time.Millisecond)
+					called = true
+				})
+			})
+			k.Run()
+			if !called {
+				t.Fatal("call never resolved")
+			}
+			if !errors.Is(err, tc.wantErr) && !(tc.wantErr == nil && err == nil) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLatencySpikeDelaysCall(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := echoFabric(k, testConfig())
+	rtt := func() sim.Time {
+		var took sim.Time
+		k.Spawn("caller", func(p *sim.Proc) {
+			start := p.Now()
+			if _, err := f.Call(p, 1, 2, "echo", Message{Bytes: 0}); err != nil {
+				t.Errorf("Call: %v", err)
+			}
+			took = p.Now() - start
+		})
+		k.Run()
+		return took
+	}
+	base := rtt()
+	f.SetLinkFault(1, 2, LinkFault{ExtraLatency: 100 * time.Microsecond})
+	spiked := rtt()
+	// The spike applies one-way to each leg of the round trip.
+	if want := base + sim.Time(200*time.Microsecond); spiked != want {
+		t.Errorf("spiked RTT = %v, want %v (base %v + 2x100us)", spiked, want, base)
+	}
+	f.ClearLinkFault(1, 2)
+	if healed := rtt(); healed != base {
+		t.Errorf("healed RTT = %v, want base %v", healed, base)
+	}
+}
+
+func TestSetDownFailsInflightCalls(t *testing.T) {
+	// The handler sleeps 1 ms; the destination dies 200 us in. The
+	// caller must get ErrNodeDown at the instant of the failure, not
+	// hang until (or beyond) the handler's reply.
+	for _, who := range []string{"destination", "source"} {
+		t.Run(who, func(t *testing.T) {
+			k := sim.NewKernel(1)
+			defer k.Close()
+			f := echoFabric(k, testConfig())
+			var err error
+			var at sim.Time = -1
+			k.Spawn("caller", func(p *sim.Proc) {
+				_, err = f.Call(p, 1, 2, "slow", Message{Bytes: 10})
+				at = p.Now()
+			})
+			victim := NodeID(2)
+			if who == "source" {
+				victim = 1
+			}
+			k.Schedule(sim.Time(200*time.Microsecond), func() {
+				f.Node(victim).SetDown(true)
+			})
+			k.Run()
+			if !errors.Is(err, ErrNodeDown) {
+				t.Fatalf("err = %v, want ErrNodeDown", err)
+			}
+			if at != sim.Time(200*time.Microsecond) {
+				t.Errorf("call resolved at %v, want the failure instant 200us", at)
+			}
+		})
+	}
+}
+
+func TestSetDownThenUpCompletesNewCalls(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	f := echoFabric(k, testConfig())
+	f.Node(2).SetDown(true)
+	var errDown, errUp error
+	k.Spawn("caller", func(p *sim.Proc) {
+		_, errDown = f.Call(p, 1, 2, "echo", Message{Bytes: 10})
+		f.Node(2).SetDown(false)
+		_, errUp = f.Call(p, 1, 2, "echo", Message{Bytes: 10})
+	})
+	k.Run()
+	if !errors.Is(errDown, ErrNodeDown) {
+		t.Errorf("down err = %v, want ErrNodeDown", errDown)
+	}
+	if errUp != nil {
+		t.Errorf("up err = %v, want nil", errUp)
+	}
+}
+
+func TestDropProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		k := sim.NewKernel(seed)
+		defer k.Close()
+		f := echoFabric(k, testConfig())
+		f.SetLinkFault(1, 2, LinkFault{DropProb: 0.5})
+		outcomes := make([]bool, 0, 64)
+		k.Spawn("caller", func(p *sim.Proc) {
+			for i := 0; i < 64; i++ {
+				_, err := f.CallWithTimeout(p, 1, 2, "echo", Message{Bytes: 10}, 100*time.Microsecond)
+				outcomes = append(outcomes, err == nil)
+			}
+		})
+		k.Run()
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	ok, drop := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: outcome differs across identical seeds", i)
+		}
+		if a[i] {
+			ok++
+		} else {
+			drop++
+		}
+	}
+	if ok == 0 || drop == 0 {
+		t.Errorf("with DropProb 0.5 over 64 calls expected a mix, got %d ok / %d dropped", ok, drop)
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical drop patterns (RNG not wired?)")
+	}
+}
+
+func TestTransferTimesOutOnPartition(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	cfg := testConfig()
+	cfg.CallTimeout = time.Millisecond
+	f := echoFabric(k, cfg)
+	f.SetLinkFault(1, 2, LinkFault{Partitioned: true})
+	var err error
+	var took sim.Time
+	k.Spawn("sender", func(p *sim.Proc) {
+		start := p.Now()
+		err = f.Transfer(p, 1, 2, 1<<20)
+		took = p.Now() - start
+	})
+	k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if took != sim.Time(time.Millisecond) {
+		t.Errorf("transfer failed after %v, want the 1ms timeout window", took)
+	}
+}
+
+// TestNoHangUnderRandomFaults hammers the fabric with randomized
+// partitions, drops, and node flaps while callers issue deadline-bound
+// RPCs: every call must resolve and the kernel must drain.
+func TestNoHangUnderRandomFaults(t *testing.T) {
+	const callers, calls = 8, 50
+	k := sim.NewKernel(99)
+	defer k.Close()
+	cfg := testConfig()
+	cfg.CallTimeout = 200 * time.Microsecond
+	f := New(k, cfg)
+	const nodes = 4
+	for id := 0; id < nodes; id++ {
+		n := f.AddNode(NodeID(id))
+		n.Handle("work", func(p *sim.Proc, req Message) (Message, error) {
+			p.Sleep(10 * time.Microsecond)
+			return req, nil
+		})
+	}
+	// Chaos driver: random fault churn every 50 us.
+	k.Spawn("chaos", func(p *sim.Proc) {
+		rng := k.Rand()
+		for i := 0; i < 200; i++ {
+			a := NodeID(rng.Intn(nodes))
+			b := NodeID(rng.Intn(nodes))
+			switch rng.Intn(4) {
+			case 0:
+				f.SetLinkFault(a, b, LinkFault{Partitioned: true})
+			case 1:
+				f.ClearLinkFault(a, b)
+			case 2:
+				if n := f.Node(a); n != nil {
+					n.SetDown(!n.Down())
+				}
+			case 3:
+				f.SetLinkFault(a, b, LinkFault{DropProb: 0.3, ExtraLatency: 20 * time.Microsecond})
+			}
+			p.Sleep(50 * time.Microsecond)
+		}
+		// Heal everything so stragglers can finish.
+		for a := 0; a < nodes; a++ {
+			f.Node(NodeID(a)).SetDown(false)
+			for b := 0; b < nodes; b++ {
+				f.ClearLinkFault(NodeID(a), NodeID(b))
+			}
+		}
+	})
+	resolved := 0
+	for c := 0; c < callers; c++ {
+		src := NodeID(c % nodes)
+		k.Spawn(fmt.Sprintf("caller%d", c), func(p *sim.Proc) {
+			rng := k.Rand()
+			for i := 0; i < calls; i++ {
+				dst := NodeID(rng.Intn(nodes))
+				_, err := f.Call(p, src, dst, "work", Message{Bytes: 64})
+				if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrNodeDown) {
+					t.Errorf("caller%d call %d: unexpected error %v", c, i, err)
+				}
+				resolved++
+				p.Sleep(5 * time.Microsecond)
+			}
+		})
+	}
+	k.Run()
+	if resolved != callers*calls {
+		t.Fatalf("resolved %d/%d calls — some caller hung", resolved, callers*calls)
+	}
+	if got := k.Blocked(); got != 0 {
+		t.Fatalf("%d processes still blocked after drain", got)
+	}
+}

@@ -7,6 +7,14 @@
 // proclet migration time is dominated by state-bytes/bandwidth, and
 // remote method invocation by latency plus payload-bytes/bandwidth —
 // while staying deterministic under the sim kernel.
+//
+// Failure model: links can carry per-link faults (partitions, latency
+// spikes, probabilistic message drops — see LinkFault) and nodes can be
+// taken down. A down node fails new and in-flight calls with
+// ErrNodeDown; a partitioned or lossy link silently eats messages, which
+// callers observe as ErrTimeout once their per-call deadline expires.
+// Calls with no deadline on a faulted link fail with ErrTimeout
+// immediately rather than hanging forever.
 package simnet
 
 import (
@@ -26,6 +34,7 @@ var (
 	ErrNodeDown   = errors.New("simnet: node is down")
 	ErrNoHandler  = errors.New("simnet: no handler registered for method")
 	ErrNoSuchNode = errors.New("simnet: unknown node")
+	ErrTimeout    = errors.New("simnet: call timed out")
 )
 
 // ErrWouldBlock is returned by a FastHandler to decline a request it
@@ -46,6 +55,12 @@ type Config struct {
 	// MsgOverheadBytes is the per-message header cost added to every
 	// transfer's payload size.
 	MsgOverheadBytes int64
+	// CallTimeout is the default per-call deadline. Zero means calls
+	// have no deadline (the fault-free configuration): no timer event
+	// is armed and behavior is identical to a fabric without timeouts.
+	// Fault injection installs a deadline so lost messages resolve as
+	// ErrTimeout instead of hanging the caller.
+	CallTimeout time.Duration
 }
 
 // DefaultConfig models a contemporary datacenter fabric: 100 Gb/s NICs,
@@ -57,6 +72,29 @@ func DefaultConfig() Config {
 		RPCOverhead:      time.Microsecond,
 		MsgOverheadBytes: 64,
 	}
+}
+
+// LinkFault is the fault state of one directed link. The zero value is
+// a healthy link.
+type LinkFault struct {
+	// Partitioned drops every message on the link.
+	Partitioned bool
+	// ExtraLatency is added to the propagation delay of each message
+	// (a latency spike).
+	ExtraLatency time.Duration
+	// DropProb drops each message independently with this probability,
+	// drawn from the kernel RNG (deterministic per seed).
+	DropProb float64
+}
+
+// healthy reports whether the fault is a no-op.
+func (lf LinkFault) healthy() bool {
+	return !lf.Partitioned && lf.ExtraLatency == 0 && lf.DropProb == 0
+}
+
+// linkKey addresses one direction of a node pair.
+type linkKey struct {
+	from, to NodeID
 }
 
 // Message is an RPC payload plus its on-wire size. Payloads are passed
@@ -100,6 +138,14 @@ type Fabric struct {
 	cfg   Config
 	nodes map[NodeID]*Node
 
+	// faults holds per-directed-link fault state. It stays empty on
+	// fault-free runs, so the hot paths pay only a length check.
+	faults map[linkKey]LinkFault
+
+	// inflight tracks every outstanding Call so a node going down can
+	// complete them with ErrNodeDown instead of stranding the callers.
+	inflight []*callState
+
 	// TransferLatency records end-to-end transfer times in seconds.
 	TransferLatency *metrics.Histogram
 	// Calls counts completed RPCs.
@@ -107,6 +153,10 @@ type Fabric struct {
 	// FastCalls counts RPCs served inline by a FastHandler (no handler
 	// process). FastCalls <= Calls.
 	FastCalls metrics.Counter
+	// Timeouts counts calls that resolved with ErrTimeout.
+	Timeouts metrics.Counter
+	// Drops counts messages eaten by link faults.
+	Drops metrics.Counter
 
 	// callPool recycles per-Call state (see callState). The pool is a
 	// stack, so reuse order is deterministic.
@@ -129,6 +179,66 @@ func New(k *sim.Kernel, cfg Config) *Fabric {
 // Config returns the fabric's configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
+// SetCallTimeout changes the default per-call deadline (see
+// Config.CallTimeout). Fault injectors use it to guarantee that no call
+// outlives a lost message.
+func (f *Fabric) SetCallTimeout(d time.Duration) { f.cfg.CallTimeout = d }
+
+// SetLinkFault installs fault state on the link between a and b, in
+// both directions, replacing any previous fault on that pair.
+func (f *Fabric) SetLinkFault(a, b NodeID, lf LinkFault) {
+	if f.faults == nil {
+		f.faults = make(map[linkKey]LinkFault)
+	}
+	f.faults[linkKey{a, b}] = lf
+	f.faults[linkKey{b, a}] = lf
+}
+
+// ClearLinkFault heals the link between a and b (both directions).
+func (f *Fabric) ClearLinkFault(a, b NodeID) {
+	delete(f.faults, linkKey{a, b})
+	delete(f.faults, linkKey{b, a})
+}
+
+// LinkFaultOn returns the fault installed on the directed link from ->
+// to (zero value if healthy).
+func (f *Fabric) LinkFaultOn(from, to NodeID) LinkFault {
+	if len(f.faults) == 0 {
+		return LinkFault{}
+	}
+	return f.faults[linkKey{from, to}]
+}
+
+// lost decides whether a message sent now on from -> to is eaten by a
+// link fault. It draws from the kernel RNG only when a probabilistic
+// drop is installed, so fault-free runs consume no randomness.
+func (f *Fabric) lost(from, to NodeID) bool {
+	if len(f.faults) == 0 {
+		return false
+	}
+	lf, ok := f.faults[linkKey{from, to}]
+	if !ok || lf.healthy() {
+		return false
+	}
+	if lf.Partitioned {
+		f.Drops.Inc()
+		return true
+	}
+	if lf.DropProb > 0 && f.k.Rand().Float64() < lf.DropProb {
+		f.Drops.Inc()
+		return true
+	}
+	return false
+}
+
+// extraLatency returns the latency spike installed on from -> to.
+func (f *Fabric) extraLatency(from, to NodeID) time.Duration {
+	if len(f.faults) == 0 {
+		return 0
+	}
+	return f.faults[linkKey{from, to}].ExtraLatency
+}
+
 // AddNode attaches a new node. Adding a duplicate ID panics.
 func (f *Fabric) AddNode(id NodeID) *Node {
 	if _, ok := f.nodes[id]; ok {
@@ -143,10 +253,35 @@ func (f *Fabric) AddNode(id NodeID) *Node {
 func (f *Fabric) Node(id NodeID) *Node { return f.nodes[id] }
 
 // SetDown marks a node as unreachable (true) or reachable (false).
-func (n *Node) SetDown(down bool) { n.down = down }
+// Taking a node down completes every in-flight call that touches it
+// with ErrNodeDown — callers never hang on a dead peer.
+func (n *Node) SetDown(down bool) {
+	if n.down == down {
+		return
+	}
+	n.down = down
+	if down {
+		n.f.failInflightOn(n.ID)
+	}
+}
 
 // Down reports whether the node is unreachable.
 func (n *Node) Down() bool { return n.down }
+
+// failInflightOn resolves every outstanding call with an endpoint on
+// the given node. Collect first: finish() swap-removes entries from the
+// in-flight list.
+func (f *Fabric) failInflightOn(id NodeID) {
+	var hit []*callState
+	for _, cs := range f.inflight {
+		if cs.from == id || cs.to == id {
+			hit = append(hit, cs)
+		}
+	}
+	for _, cs := range hit {
+		cs.finish(Message{}, fmt.Errorf("%w: node %d failed mid-call (%q)", ErrNodeDown, id, cs.method))
+	}
+}
 
 // Handle registers an RPC handler for method on this node.
 func (n *Node) Handle(method string, h Handler) {
@@ -189,7 +324,7 @@ func (f *Fabric) deliveryTime(from, to *Node, size int64) sim.Time {
 	txEnd := txStart.Add(dur)
 	from.txFree = txEnd
 
-	rxStart := txStart.Add(f.cfg.Latency)
+	rxStart := txStart.Add(f.cfg.Latency + f.extraLatency(from.ID, to.ID))
 	if to.rxFree > rxStart {
 		rxStart = to.rxFree
 	}
@@ -222,7 +357,10 @@ func (f *Fabric) checkPath(from, to NodeID) (*Node, *Node, error) {
 
 // Transfer moves size bytes from one node to another, blocking the
 // calling process until delivery. Transfers between a node and itself
-// complete immediately (no wire cost).
+// complete immediately (no wire cost). On a partitioned or lossy link
+// the transfer is eaten: the caller blocks for the fabric's call
+// timeout (modeling the sender waiting out its acknowledgment window)
+// and gets ErrTimeout.
 func (f *Fabric) Transfer(p *sim.Proc, from, to NodeID, size int64) error {
 	src, dst, err := f.checkPath(from, to)
 	if err != nil {
@@ -230,6 +368,12 @@ func (f *Fabric) Transfer(p *sim.Proc, from, to NodeID, size int64) error {
 	}
 	if from == to {
 		return nil
+	}
+	if f.lost(from, to) {
+		if f.cfg.CallTimeout > 0 {
+			p.Sleep(f.cfg.CallTimeout)
+		}
+		return fmt.Errorf("%w: transfer %d->%d (%d bytes) lost", ErrTimeout, from, to, size)
 	}
 	start := f.k.Now()
 	done := f.deliveryTime(src, dst, size)
@@ -239,7 +383,9 @@ func (f *Fabric) Transfer(p *sim.Proc, from, to NodeID, size int64) error {
 }
 
 // TransferAsync schedules onDelivered to run when the transfer lands.
-// For same-node transfers the callback runs at the current instant.
+// For same-node transfers the callback runs at the current instant. On
+// a faulted link the message is eaten and ErrTimeout returned; the
+// callback never runs.
 func (f *Fabric) TransferAsync(from, to NodeID, size int64, onDelivered func()) error {
 	src, dst, err := f.checkPath(from, to)
 	if err != nil {
@@ -249,8 +395,29 @@ func (f *Fabric) TransferAsync(from, to NodeID, size int64, onDelivered func()) 
 		f.k.Schedule(f.k.Now(), onDelivered)
 		return nil
 	}
-	done := f.deliveryTime(src, dst, size)
-	f.k.Schedule(done, onDelivered)
+	if f.lost(from, to) {
+		return fmt.Errorf("%w: transfer %d->%d (%d bytes) lost", ErrTimeout, from, to, size)
+	}
+	f.k.Schedule(f.deliveryTime(src, dst, size), onDelivered)
+	return nil
+}
+
+// transferAsyncTagged is TransferAsync with a tagged callback, so
+// pooled call state can discard deliveries aimed at a recycled
+// generation without allocating a closure per message.
+func (f *Fabric) transferAsyncTagged(from, to NodeID, size int64, fn func(uint64), tag uint64) error {
+	src, dst, err := f.checkPath(from, to)
+	if err != nil {
+		return err
+	}
+	if from == to {
+		f.k.ScheduleTagged(f.k.Now(), fn, tag)
+		return nil
+	}
+	if f.lost(from, to) {
+		return fmt.Errorf("%w: transfer %d->%d (%d bytes) lost", ErrTimeout, from, to, size)
+	}
+	f.k.ScheduleTagged(f.deliveryTime(src, dst, size), fn, tag)
 	return nil
 }
 
@@ -260,24 +427,39 @@ func (f *Fabric) TransferAsync(from, to NodeID, size int64, onDelivered func()) 
 // so a steady-state RPC allocates nothing: not for the kernel events,
 // not for the handler process (worker pool), not for its name (lazy),
 // and not for the caller's wait (inline Cond slot).
+//
+// Timeouts make recycling subtle: a timed-out call can leave its
+// delivery/reply/deadline events in the queue, and its blocking handler
+// mid-run. Every such event carries the generation it was armed for and
+// is discarded if the callState has since been recycled (gen bumped in
+// putCall); a still-running handler pins the callState out of the pool
+// (handlerLive) until its sendReply, which reclaims it.
 type callState struct {
-	f      *Fabric
-	from   NodeID
-	to     NodeID
-	method string
-	req    Message
-	h      Handler     // blocking handler, or nil
-	fh     FastHandler // fast handler, or nil
+	f       *Fabric
+	from    NodeID
+	to      NodeID
+	method  string
+	req     Message
+	h       Handler     // blocking handler, or nil
+	fh      FastHandler // fast handler, or nil
+	timeout time.Duration
 
 	reply Message
 	err   error
 	done  bool
 	cv    sim.Cond
 
-	deliver func()        // runs when the request lands on the destination
-	finishF func()        // runs when the reply lands back on the caller
-	nameF   func() string // lazy handler-process name ("rpc:method@node")
-	procF   func(p *sim.Proc)
+	gen         uint64 // bumped on recycle; stale tagged events no-op
+	ifIdx       int    // index in Fabric.inflight, -1 if not tracked
+	hasDeadline bool   // a timeout event is armed for this attempt
+	handlerLive bool   // blocking handler process still references cs
+	abandoned   bool   // owner returned before the handler finished
+
+	deliverT func(uint64)  // runs when the request lands on the destination
+	finishT  func(uint64)  // runs when the reply lands back on the caller
+	timeoutT func(uint64)  // runs when the call's deadline expires
+	nameF    func() string // lazy handler-process name ("rpc:method@node")
+	procF    func(p *sim.Proc)
 }
 
 func (f *Fabric) getCall() *callState {
@@ -287,23 +469,58 @@ func (f *Fabric) getCall() *callState {
 		f.callPool = f.callPool[:n-1]
 		return cs
 	}
-	cs := &callState{f: f}
-	cs.deliver = cs.onDelivered
-	cs.finishF = cs.onReplyDelivered
+	cs := &callState{f: f, ifIdx: -1}
+	cs.deliverT = cs.onDelivered
+	cs.finishT = cs.onReplyDelivered
+	cs.timeoutT = cs.onDeadline
 	cs.nameF = cs.procName
 	cs.procF = cs.runProc
 	return cs
 }
 
-// putCall returns cs to the pool. Only the owning Call may do this,
-// after its wait completes: every closure stage has run by then, so
-// nothing can touch cs afterwards.
+// putCall retires cs after its owning Call completes. If the blocking
+// handler is still running it keeps a reference, so cs is marked
+// abandoned instead of pooled; sendReply reclaims it.
 func (f *Fabric) putCall(cs *callState) {
+	cs.gen++
+	if cs.handlerLive {
+		cs.abandoned = true
+		return
+	}
+	f.resetCall(cs)
+	f.callPool = append(f.callPool, cs)
+}
+
+// resetCall clears a callState for reuse.
+func (f *Fabric) resetCall(cs *callState) {
 	cs.req, cs.reply = Message{}, Message{}
 	cs.h, cs.fh, cs.err = nil, nil, nil
 	cs.method = ""
+	cs.timeout = 0
 	cs.done = false
-	f.callPool = append(f.callPool, cs)
+	cs.ifIdx = -1
+	cs.hasDeadline = false
+	cs.abandoned = false
+}
+
+// addInflight registers cs for failure notification (see SetDown).
+func (f *Fabric) addInflight(cs *callState) {
+	cs.ifIdx = len(f.inflight)
+	f.inflight = append(f.inflight, cs)
+}
+
+// removeInflight unregisters cs via swap-remove; order is deterministic.
+func (f *Fabric) removeInflight(cs *callState) {
+	i := cs.ifIdx
+	if i < 0 {
+		return
+	}
+	last := len(f.inflight) - 1
+	f.inflight[i] = f.inflight[last]
+	f.inflight[i].ifIdx = i
+	f.inflight[last] = nil
+	f.inflight = f.inflight[:last]
+	cs.ifIdx = -1
 }
 
 func (cs *callState) procName() string {
@@ -313,7 +530,10 @@ func (cs *callState) procName() string {
 // onDelivered runs in kernel context when the request reaches the
 // destination node. The fast path serves the RPC inline; everything
 // else spawns the blocking handler in a pooled process.
-func (cs *callState) onDelivered() {
+func (cs *callState) onDelivered(gen uint64) {
+	if gen != cs.gen || cs.done {
+		return // the call already resolved (timeout / node down) or recycled
+	}
 	if cs.fh != nil {
 		reply, err := cs.fh(cs.req)
 		if err == nil || !errors.Is(err, ErrWouldBlock) {
@@ -330,6 +550,7 @@ func (cs *callState) onDelivered() {
 			return
 		}
 	}
+	cs.handlerLive = true
 	cs.f.k.SpawnLazy(cs.nameF, cs.procF)
 }
 
@@ -338,33 +559,83 @@ func (cs *callState) runProc(hp *sim.Proc) {
 	cs.sendReply(reply, err)
 }
 
+// onDeadline fires when a call's deadline expires before its reply.
+func (cs *callState) onDeadline(gen uint64) {
+	if gen != cs.gen || cs.done {
+		return
+	}
+	cs.f.Timeouts.Inc()
+	cs.finish(Message{}, fmt.Errorf("%w: %q to node %d after %v", ErrTimeout, cs.method, cs.to, cs.timeout))
+}
+
 // sendReply routes the handler's result back to the caller, charging
 // the return wire time for cross-node success replies (errors complete
-// immediately, as before).
+// immediately, as before). It is also where a finished blocking handler
+// releases its pin on the callState.
 func (cs *callState) sendReply(reply Message, err error) {
+	if cs.handlerLive {
+		cs.handlerLive = false
+		if cs.abandoned {
+			// The caller timed out (or saw the node fail) and moved on
+			// while this handler ran; nobody is waiting for the reply.
+			cs.f.resetCall(cs)
+			cs.f.callPool = append(cs.f.callPool, cs)
+			return
+		}
+	}
+	if cs.done {
+		return // resolved underneath the handler (timeout / node down)
+	}
 	if err != nil || cs.from == cs.to {
 		cs.finish(reply, err)
 		return
 	}
+	if cs.f.lost(cs.to, cs.from) {
+		if cs.hasDeadline {
+			return // reply eaten by the link; the armed deadline resolves the call
+		}
+		cs.f.Timeouts.Inc()
+		cs.finish(Message{}, fmt.Errorf("%w: reply for %q lost on link %d->%d",
+			ErrTimeout, cs.method, cs.to, cs.from))
+		return
+	}
 	cs.reply = reply // parked here while the reply crosses the wire
-	if terr := cs.f.TransferAsync(cs.to, cs.from, reply.Bytes, cs.finishF); terr != nil {
+	if terr := cs.f.transferAsyncTagged(cs.to, cs.from, reply.Bytes, cs.finishT, cs.gen); terr != nil {
 		cs.finish(Message{}, terr)
 	}
 }
 
-func (cs *callState) onReplyDelivered() { cs.finish(cs.reply, nil) }
+func (cs *callState) onReplyDelivered(gen uint64) {
+	if gen != cs.gen {
+		return
+	}
+	cs.finish(cs.reply, nil)
+}
 
 func (cs *callState) finish(reply Message, err error) {
+	if cs.done {
+		return
+	}
 	cs.reply, cs.err = reply, err
 	cs.done = true
+	cs.f.removeInflight(cs)
 	cs.cv.Signal()
 }
 
 // Call performs a synchronous RPC: the request payload travels the wire,
 // the handler runs on the destination node — inline via a FastHandler
 // when one is registered, otherwise in its own pooled process — and the
-// reply travels back. The calling process blocks for the round trip.
+// reply travels back. The calling process blocks for the round trip,
+// bounded by the fabric's default deadline (Config.CallTimeout).
 func (f *Fabric) Call(p *sim.Proc, from, to NodeID, method string, req Message) (Message, error) {
+	return f.CallWithTimeout(p, from, to, method, req, 0)
+}
+
+// CallWithTimeout is Call with an explicit per-call deadline: d > 0
+// bounds this call, d == 0 uses the fabric default, d < 0 forces no
+// deadline. A call whose deadline expires resolves with ErrTimeout; the
+// request may still execute on the destination (at-most-once).
+func (f *Fabric) CallWithTimeout(p *sim.Proc, from, to NodeID, method string, req Message, d time.Duration) (Message, error) {
 	_, dst, err := f.checkPath(from, to)
 	if err != nil {
 		return Message{}, err
@@ -374,18 +645,33 @@ func (f *Fabric) Call(p *sim.Proc, from, to NodeID, method string, req Message) 
 	if fh == nil && !hasH {
 		return Message{}, fmt.Errorf("%w: %q on node %d", ErrNoHandler, method, to)
 	}
+	if d == 0 {
+		d = f.cfg.CallTimeout
+	}
 
 	// Fixed software overhead on the caller side.
 	p.Sleep(f.cfg.RPCOverhead)
 
 	cs := f.getCall()
 	cs.from, cs.to, cs.method, cs.req, cs.h, cs.fh = from, to, method, req, h, fh
+	f.addInflight(cs)
+	if d > 0 {
+		cs.timeout = d
+		cs.hasDeadline = true
+		f.k.ScheduleTagged(f.k.Now().Add(d), cs.timeoutT, cs.gen)
+	}
 
 	if from == to {
-		f.k.Schedule(f.k.Now(), cs.deliver)
-	} else if terr := f.TransferAsync(from, to, req.Bytes, cs.deliver); terr != nil {
-		f.putCall(cs)
-		return Message{}, terr
+		f.k.ScheduleTagged(f.k.Now(), cs.deliverT, cs.gen)
+	} else if f.lost(from, to) {
+		if !cs.hasDeadline {
+			// No deadline armed to resolve the loss: fail now rather
+			// than hang forever.
+			f.Timeouts.Inc()
+			cs.finish(Message{}, fmt.Errorf("%w: %q lost on link %d->%d", ErrTimeout, method, from, to))
+		}
+	} else if terr := f.transferAsyncTagged(from, to, req.Bytes, cs.deliverT, cs.gen); terr != nil {
+		cs.finish(Message{}, terr)
 	}
 
 	for !cs.done {

@@ -23,6 +23,9 @@ const (
 	KindPlace     Kind = "place"
 	KindPressure  Kind = "pressure"
 	KindRebalance Kind = "rebalance"
+	KindCrash     Kind = "crash"   // a machine failed (fault injection)
+	KindRecover   Kind = "recover" // a machine restarted or a proclet was re-placed
+	KindFault     Kind = "fault"   // a link fault was installed or healed
 )
 
 // Event is one control-plane occurrence. From/To are machine IDs (as
