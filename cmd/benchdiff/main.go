@@ -18,6 +18,13 @@
 //     exact only for -par 1 runs, which is what CI records.
 //   - wall_ms: reported for context, never gated — wall clock depends
 //     on the host.
+//   - values: behavioural guarantees, gated only for keys present in
+//     BOTH records (old baselines without values skip these checks).
+//     Keys prefixed "lost" are durability counters and must not exceed
+//     the baseline — with committed baselines of zero that means no
+//     acked object may ever be lost. Failover latency keys
+//     (failover_ms_mean/max) must stay within ±tol of the baseline.
+//     Other values are informational.
 //
 // Exit status is 1 if any comparison fails, 2 on usage errors.
 package main
@@ -28,14 +35,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 )
 
 // benchStats mirrors the record written by quicksand-bench -json.
 type benchStats struct {
-	ID     string  `json:"id"`
-	WallMS float64 `json:"wall_ms"`
-	Events uint64  `json:"events_processed"`
-	Allocs uint64  `json:"allocs"`
+	ID     string             `json:"id"`
+	WallMS float64            `json:"wall_ms"`
+	Events uint64             `json:"events_processed"`
+	Allocs uint64             `json:"allocs"`
+	Values map[string]float64 `json:"values,omitempty"`
 }
 
 func readStats(dir, id string) (benchStats, error) {
@@ -78,6 +88,40 @@ func compare(base, cand benchStats, tol float64) []string {
 		fails = append(fails, fmt.Sprintf(
 			"allocs %d -> %d (%+.1f%%, tolerance +%.0f%%): allocation regression",
 			base.Allocs, cand.Allocs, 100*d, 100*tol))
+	}
+	fails = append(fails, compareValues(base.Values, cand.Values, tol)...)
+	return fails
+}
+
+// compareValues gates behavioural values shared by both records.
+func compareValues(base, cand map[string]float64, tol float64) []string {
+	var fails []string
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bv := base[k]
+		cv, ok := cand[k]
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(k, "lost"):
+			// Durability counter: acked objects lost must never grow.
+			// Committed baselines record 0, so any loss fails.
+			if cv > bv {
+				fails = append(fails, fmt.Sprintf(
+					"%s %.0f -> %.0f: durability regression (acked objects lost)", k, bv, cv))
+			}
+		case k == "failover_ms_mean" || k == "failover_ms_max":
+			lo, hi := bv*(1-tol), bv*(1+tol)
+			if cv < lo || cv > hi {
+				fails = append(fails, fmt.Sprintf(
+					"%s %.2f -> %.2f (tolerance ±%.0f%%): failover latency drifted", k, bv, cv, 100*tol))
+			}
+		}
 	}
 	return fails
 }

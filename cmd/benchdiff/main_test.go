@@ -51,3 +51,56 @@ func TestRelDelta(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareValues(t *testing.T) {
+	// A record shaped like BENCH_ext-failover.json: durability counters
+	// plus failover latency.
+	base := benchStats{
+		ID: "ext-failover", Events: 1000, Allocs: 500,
+		Values: map[string]float64{
+			"lost_rf2":         0,
+			"lost_rf1":         1372,
+			"failover_ms_mean": 3.14,
+			"failover_ms_max":  3.27,
+			"ops_rf2":          12262, // informational, never gated
+		},
+	}
+	cases := []struct {
+		name  string
+		vals  map[string]float64
+		fails int
+	}{
+		{"identical", map[string]float64{
+			"lost_rf2": 0, "lost_rf1": 1372,
+			"failover_ms_mean": 3.14, "failover_ms_max": 3.27, "ops_rf2": 12262}, 0},
+		{"data loss appears", map[string]float64{
+			"lost_rf2": 3, "lost_rf1": 1372,
+			"failover_ms_mean": 3.14, "failover_ms_max": 3.27}, 1},
+		{"rf1 loss may shrink", map[string]float64{
+			"lost_rf2": 0, "lost_rf1": 900,
+			"failover_ms_mean": 3.14, "failover_ms_max": 3.27}, 0},
+		{"failover latency within tol", map[string]float64{
+			"lost_rf2": 0, "failover_ms_mean": 3.3, "failover_ms_max": 3.4}, 0},
+		{"failover latency regresses", map[string]float64{
+			"lost_rf2": 0, "failover_ms_mean": 9.9, "failover_ms_max": 3.27}, 1},
+		{"failover latency too-good is still drift", map[string]float64{
+			"lost_rf2": 0, "failover_ms_mean": 0.1, "failover_ms_max": 3.27}, 1},
+		{"informational values never gate", map[string]float64{
+			"lost_rf2": 0, "ops_rf2": 1}, 0},
+		{"old candidate without values", nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cand := benchStats{Events: 1000, Allocs: 500, Values: tc.vals}
+			fails := compare(base, cand, 0.10)
+			if len(fails) != tc.fails {
+				t.Fatalf("compare = %d failures %v, want %d", len(fails), fails, tc.fails)
+			}
+		})
+	}
+	// Old baseline without values must not gate a candidate that has them.
+	if fails := compare(benchStats{Events: 1000, Allocs: 500},
+		benchStats{Events: 1000, Allocs: 500, Values: map[string]float64{"lost_rf2": 5}}, 0.10); len(fails) != 0 {
+		t.Fatalf("baseline without values gated candidate: %v", fails)
+	}
+}

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	qsctl [-scenario filler|pipeline|churn] [-horizon-ms N] [-events]
+//	qsctl [-scenario filler|pipeline|churn|gpu|replicas] [-horizon-ms N] [-events]
+//
+// The replicas scenario runs a replicated store fleet through a crash
+// and dumps per-proclet replication status: primary location, lease
+// validity and expiry, replication log position, and per-backup apply
+// lag.
 package main
 
 import (
@@ -17,7 +22,9 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/gpu"
+	"repro/internal/replication"
 	"repro/internal/sharded"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -25,15 +32,26 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "filler", "scenario: filler, pipeline, churn, or gpu")
+	scenario := flag.String("scenario", "filler", "scenario: filler, pipeline, churn, gpu, or replicas")
 	horizonMs := flag.Int("horizon-ms", 100, "virtual run length in milliseconds")
 	events := flag.Bool("events", false, "dump the full event trace")
 	flag.Parse()
 
-	sys := core.NewSystem(core.DefaultConfig(), []cluster.MachineConfig{
+	machines := []cluster.MachineConfig{
 		{Cores: 8, MemBytes: 2 << 30},
 		{Cores: 8, MemBytes: 2 << 30},
-	})
+	}
+	if *scenario == "replicas" {
+		// Replication needs room for anti-affine backups plus a monitor
+		// machine that survives the scripted crash.
+		machines = []cluster.MachineConfig{
+			{Cores: 8, MemBytes: 2 << 30},
+			{Cores: 8, MemBytes: 2 << 30},
+			{Cores: 8, MemBytes: 2 << 30},
+			{Cores: 8, MemBytes: 2 << 30},
+		}
+	}
+	sys := core.NewSystem(core.DefaultConfig(), machines)
 	for _, m := range sys.Cluster.Machines() {
 		m.TrackUtilization()
 	}
@@ -50,6 +68,8 @@ func main() {
 		err = runChurn(sys, horizon)
 	case "gpu":
 		err = runGPU(sys, horizon)
+	case "replicas":
+		err = runReplicas(sys, horizon)
 	default:
 		fmt.Fprintf(os.Stderr, "qsctl: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -197,6 +217,73 @@ func runGPU(sys *core.System, horizon sim.Time) error {
 	}
 	fmt.Printf("fleet: %d evacuations (mean %.1f ms), %d stranded polls\n\n",
 		fleet.Evacuations.Value(), fleet.MigrationLatency.Mean()*1000, fleet.Stranded.Value())
+	return nil
+}
+
+// runReplicas replicates a small store fleet at RF=2, drives writers
+// through a primary crash, and dumps each replica set's status — the
+// view an operator would use to answer "is my data safe and who is
+// serving it?".
+func runReplicas(sys *core.System, horizon sim.Time) error {
+	in := fault.New(sys.K, sys.Cluster, sys.Trace)
+	sys.AttachInjector(in)
+	// Monitor and writers live on m0; primaries on m1..m3; m1 crashes
+	// mid-run and restarts late.
+	rm := sys.EnableReplicationPlane(replication.Config{}, 0)
+	const stores = 6
+	mps := make([]*core.MemoryProclet, stores)
+	for i := range mps {
+		mid := cluster.MachineID(1 + i%(len(sys.Cluster.Machines())-1))
+		mp, err := core.NewMemoryProcletOn(sys, fmt.Sprintf("store-%d", i), mid)
+		if err != nil {
+			return err
+		}
+		if err := rm.Replicate(mp, 2); err != nil {
+			return err
+		}
+		mps[i] = mp
+	}
+	in.Install(fault.Schedule{
+		{At: sim.Time(float64(horizon) * 0.3), Op: fault.OpCrash, A: 1},
+		{At: sim.Time(float64(horizon) * 0.7), Op: fault.OpRestart, A: 1},
+	})
+	for w := 0; w < 8; w++ {
+		w := w
+		sys.K.Spawn(fmt.Sprintf("writer-%d", w), func(p *sim.Proc) {
+			for op := 0; p.Now() < horizon; op++ {
+				mps[(w+op)%stores].Put(p, 0, uint64(w)<<32|uint64(op), op, 4<<10)
+				p.Sleep(100 * time.Microsecond)
+			}
+		})
+	}
+	sys.K.RunUntil(horizon)
+
+	fmt.Println("-- replica sets --")
+	det := rm.Detector()
+	for _, st := range rm.Status() {
+		lease := "EXPIRED"
+		if st.LeaseValid {
+			lease = fmt.Sprintf("valid until %v", st.LeaseExpiry)
+		}
+		fmt.Printf("%-10s primary id=%-4d m%d  lease %-22s log seq %d\n",
+			st.Name, st.PrimaryID, st.PrimaryMachine, lease, st.Seq)
+		for _, b := range st.Backups {
+			fmt.Printf("           backup  id=%-4d m%d  applied %d (lag %d)\n",
+				b.ID, b.Machine, b.Applied, b.Lag)
+		}
+	}
+	fmt.Printf("\n-- durability plane --\n")
+	fmt.Printf("heartbeats sent %d, missed %d; suspects %d, confirms %d, false suspects %d\n",
+		det.HeartbeatsSent.Value(), det.HeartbeatsMissed.Value(),
+		det.Suspects.Value(), det.Confirms.Value(), det.FalseSuspects.Value())
+	fmt.Printf("promotions %d, deposes %d, resyncs %d, backup drops %d; batches %d carrying %d records\n",
+		rm.Promotions.Value(), rm.Deposes.Value(), rm.Resyncs.Value(), rm.BackupDrops.Value(),
+		rm.ReplBatches.Value(), rm.ReplRecords.Value())
+	if n := rm.PromoteLatency.Count(); n > 0 {
+		fmt.Printf("promote latency: mean %.3f ms, max %.3f ms over %d promotions\n",
+			rm.PromoteLatency.Mean()*1000, rm.PromoteLatency.Max()*1000, n)
+	}
+	fmt.Println()
 	return nil
 }
 

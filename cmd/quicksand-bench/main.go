@@ -25,7 +25,7 @@
 // include whatever ran concurrently.
 //
 // -seed N offsets the RNG seeds of the seed-swept experiments (fig2,
-// ext-chaos). Two runs at the same -seed must produce byte-identical
+// ext-chaos, ext-failover). Two runs at the same -seed must produce byte-identical
 // output — CI's seed-sweep job enforces this. 0 (the default) keeps
 // the committed seeds that the BENCH_*.json baselines were recorded at.
 package main
@@ -45,12 +45,15 @@ import (
 )
 
 // benchStats is the machine-readable record emitted by -json for one
-// experiment run.
+// experiment run. Values carries the experiment's machine-readable
+// results (goodput, objects lost, failover latency, ...) so benchdiff
+// can gate behavioural guarantees, not just host cost.
 type benchStats struct {
-	ID     string  `json:"id"`
-	WallMS float64 `json:"wall_ms"`
-	Events uint64  `json:"events_processed"`
-	Allocs uint64  `json:"allocs"`
+	ID     string             `json:"id"`
+	WallMS float64            `json:"wall_ms"`
+	Events uint64             `json:"events_processed"`
+	Allocs uint64             `json:"allocs"`
+	Values map[string]float64 `json:"values,omitempty"`
 }
 
 // writeBenchJSON writes st to BENCH_<id>.json under dir and returns
@@ -146,6 +149,7 @@ func main() {
 				WallMS: float64(time.Since(start).Microseconds()) / 1000,
 				Events: res.EventsProcessed,
 				Allocs: m1.Mallocs - m0.Mallocs,
+				Values: res.Values,
 			}
 		}
 		return o

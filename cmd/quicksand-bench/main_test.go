@@ -12,7 +12,8 @@ import (
 // TestWriteBenchJSON round-trips a stats record through the BENCH file.
 func TestWriteBenchJSON(t *testing.T) {
 	dir := t.TempDir()
-	st := benchStats{ID: "fig1", WallMS: 211.5, Events: 1234567, Allocs: 89_000}
+	st := benchStats{ID: "fig1", WallMS: 211.5, Events: 1234567, Allocs: 89_000,
+		Values: map[string]float64{"lost_rf2": 0, "failover_ms_mean": 3.14}}
 	path, err := writeBenchJSON(dir, st)
 	if err != nil {
 		t.Fatalf("writeBenchJSON: %v", err)
@@ -28,8 +29,16 @@ func TestWriteBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &got); err != nil {
 		t.Fatalf("Unmarshal: %v", err)
 	}
-	if got != st {
+	if got.ID != st.ID || got.WallMS != st.WallMS || got.Events != st.Events || got.Allocs != st.Allocs {
 		t.Errorf("round trip = %+v, want %+v", got, st)
+	}
+	if len(got.Values) != len(st.Values) {
+		t.Fatalf("values round trip = %v, want %v", got.Values, st.Values)
+	}
+	for k, v := range st.Values {
+		if got.Values[k] != v {
+			t.Errorf("values[%q] = %v, want %v", k, got.Values[k], v)
+		}
 	}
 	if data[len(data)-1] != '\n' {
 		t.Error("BENCH file must end with a newline")

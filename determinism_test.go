@@ -11,8 +11,14 @@ package quicksand
 import (
 	"fmt"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/replication"
+	"repro/internal/sim"
 )
 
 func fig1Snapshot(t *testing.T) *experiments.Result {
@@ -126,4 +132,132 @@ func TestFig1DeterministicParallel(t *testing.T) {
 		compareResults(t, fmt.Sprintf("par %d", par), seq, fig1Snapshot(t))
 	}
 	experiments.SetParallelism(0)
+}
+
+func failoverSnapshot(t *testing.T) *experiments.Result {
+	t.Helper()
+	res, err := experiments.Run("ext-failover", experiments.TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExtFailoverDeterministic5Seeds sweeps the replication stack —
+// heartbeats, lease renewals, group-commit batches, promotion, resync —
+// across five base seeds. Each seed must reproduce itself byte for
+// byte, and the headline durability guarantee (no acked write lost at
+// RF=2, with no rebuilder anywhere) must hold at every seed, not just
+// the committed one.
+func TestExtFailoverDeterministic5Seeds(t *testing.T) {
+	defer experiments.SetBaseSeed(0)
+	for seed := int64(1); seed <= 5; seed++ {
+		experiments.SetBaseSeed(seed)
+		a := failoverSnapshot(t)
+		if a.EventsProcessed == 0 {
+			t.Fatalf("seed %d: no kernel event counts", seed)
+		}
+		if a.Values["lost_rf2"] != 0 {
+			t.Errorf("seed %d: lost_rf2 = %v acked objects, want 0", seed, a.Values["lost_rf2"])
+		}
+		if a.Values["promotions"] < 1 {
+			t.Errorf("seed %d: promotions = %v, want >= 1", seed, a.Values["promotions"])
+		}
+		compareResults(t, fmt.Sprintf("seed %d rep", seed), a, failoverSnapshot(t))
+	}
+}
+
+// failoverRoutingRun drives a writer through a primary crash and
+// records how the directory routed it: the pre-crash primary machine,
+// the post-promotion machine, and the full control-plane trace.
+func failoverRoutingRun(t *testing.T, seed int64) (before, after cluster.MachineID, trace []string) {
+	t.Helper()
+	cfgs := []cluster.MachineConfig{
+		{Cores: 4, MemBytes: 256 << 20},
+		{Cores: 4, MemBytes: 256 << 20},
+		{Cores: 4, MemBytes: 256 << 20},
+		{Cores: 4, MemBytes: 256 << 20},
+	}
+	sysCfg := core.DefaultConfig()
+	sysCfg.Seed = seed
+	sys := core.NewSystem(sysCfg, cfgs)
+	defer sys.Close()
+	sys.Start()
+	in := fault.New(sys.K, sys.Cluster, sys.Trace)
+	sys.AttachInjector(in)
+	rm := sys.EnableReplicationPlane(replication.Config{}, 3)
+
+	mp, err := core.NewMemoryProcletOn(sys, "route-store", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Replicate(mp, 2); err != nil {
+		t.Fatal(err)
+	}
+	before = mp.Location()
+	in.Install(fault.Schedule{{At: sim.Time(2 * time.Millisecond), Op: fault.OpCrash, A: 1}})
+
+	const n = 40
+	acked := 0
+	sys.K.Spawn("route-writer", func(p *sim.Proc) {
+		// Writes from the monitor machine straddle the crash; every one
+		// that acks must stay readable, and the directory must chase the
+		// promoted backup without help from the client.
+		for i := 0; i < n; i++ {
+			if err := mp.Put(p, 3, uint64(i), i*3, 256); err == nil {
+				acked++
+			}
+			p.Sleep(200 * time.Microsecond)
+		}
+		for i := 0; i < acked; i++ {
+			v, err := mp.Get(p, 3, uint64(i))
+			if err != nil {
+				t.Errorf("seed %d: get %d after failover: %v", seed, i, err)
+			} else if v.(int) != i*3 {
+				t.Errorf("seed %d: key %d = %v, want %d", seed, i, v, i*3)
+			}
+		}
+		sys.K.Stop()
+	})
+	sys.K.Run()
+
+	if acked < n {
+		t.Errorf("seed %d: only %d/%d puts acked (retry budget should bridge the confirm window)", seed, acked, n)
+	}
+	after = mp.Location()
+	if rm.Promotions.Value() != 1 {
+		t.Errorf("seed %d: promotions = %d, want 1", seed, rm.Promotions.Value())
+	}
+	for _, e := range sys.Trace.Events() {
+		trace = append(trace, e.String())
+	}
+	return before, after, trace
+}
+
+// TestDirectoryRoutingDuringFailover checks, across five seeds, that a
+// writer caught mid-crash is re-routed by the directory to the promoted
+// backup — same machine, same trace, twice per seed — and that the
+// promoted primary never lands back on the crashed machine.
+func TestDirectoryRoutingDuringFailover(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		b1, a1, tr1 := failoverRoutingRun(t, seed)
+		if b1 != 1 {
+			t.Fatalf("seed %d: primary placed on m%d, want m1", seed, b1)
+		}
+		if a1 == 1 {
+			t.Errorf("seed %d: promoted primary on the crashed machine", seed)
+		}
+		b2, a2, tr2 := failoverRoutingRun(t, seed)
+		if b1 != b2 || a1 != a2 {
+			t.Errorf("seed %d: routing not deterministic: m%d->m%d vs m%d->m%d", seed, b1, a1, b2, a2)
+		}
+		if len(tr1) != len(tr2) {
+			t.Fatalf("seed %d: trace length %d vs %d", seed, len(tr1), len(tr2))
+		}
+		for i := range tr1 {
+			if tr1[i] != tr2[i] {
+				t.Fatalf("seed %d: trace diverges at %d:\n  %s\n  %s", seed, i, tr1[i], tr2[i])
+			}
+		}
+	}
 }

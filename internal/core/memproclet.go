@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/proclet"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 // Memory-proclet method names (the runtime-level RPC surface behind
@@ -42,14 +43,23 @@ type objEntry struct {
 // negligible — data operations cost network transfer, not CPU — so the
 // scheduler places and migrates it purely by memory availability.
 //
-// Every method is registered as a FastMethod: none of them blocks, so
-// remote operations are served inline at the instant the request is
-// delivered — no handler process, no goroutine handoff.
+// Unreplicated, every method serves on the inline fast-dispatch path:
+// none of them blocks, so remote operations are served at the instant
+// the request is delivered — no handler process, no goroutine handoff.
+// A replicated primary (rs != nil) keeps reads inline but declines
+// mutating fast dispatches to their blocking fallbacks, which ship log
+// records to the backups before acking (replication.go).
 type MemoryProclet struct {
 	sys     *System
 	pr      *proclet.Proclet
 	objs    map[uint64]objEntry
 	nextObj uint64
+
+	// rs is the replica set when this proclet is a replicated primary.
+	rs *replicaSet
+	// isBackup marks a backup replica: it serves only mem.replapply
+	// traffic from its primary and is excluded from generic recovery.
+	isBackup bool
 }
 
 // putReq is the wire argument of mem.put.
@@ -106,8 +116,73 @@ func (s *System) NewMemoryProclet(name string, expectedBytes int64) (*MemoryProc
 	return NewMemoryProcletOn(s, name, m)
 }
 
+// gate refuses service while ownership is unproven: a replicated
+// primary serves only under a valid lease, so a primary partitioned
+// from the monitor fails fast (retryably) instead of serving reads a
+// promoted backup may already contradict. Unreplicated proclets pay a
+// single nil check.
+func (mp *MemoryProclet) gate() error {
+	rs := mp.rs
+	if rs == nil {
+		return nil
+	}
+	mid := mp.pr.Location()
+	if !rs.rm.leaseValid(mid) {
+		return fmt.Errorf("%w: %s lease lapsed on m%d", proclet.ErrUnavailable, mp.pr.Name(), mid)
+	}
+	return nil
+}
+
+// applyFn applies one mutating operation to local state and returns the
+// log records describing its effect. Records are built only when the
+// proclet is a replicated primary; the unreplicated fast path allocates
+// nothing.
+type applyFn func(arg proclet.Msg) (proclet.Msg, []repRecord, error)
+
+// fastMutator serves an unreplicated mutator inline. A replicated
+// primary declines every invocation to the blocking fallback: the write
+// must ship log records before acking, which blocks.
+func (mp *MemoryProclet) fastMutator(apply applyFn) proclet.FastMethod {
+	return func(arg proclet.Msg) (proclet.Msg, error) {
+		if mp.rs != nil {
+			return proclet.Msg{}, simnet.ErrWouldBlock
+		}
+		res, _, err := apply(arg)
+		return res, err
+	}
+}
+
+// replMutator is the blocking fallback for a replicated primary: check
+// the lease, apply locally, group-commit the records to the backups,
+// then ack.
+func (mp *MemoryProclet) replMutator(apply applyFn) proclet.Method {
+	return func(ctx *proclet.Ctx, arg proclet.Msg) (proclet.Msg, error) {
+		rs := mp.rs
+		if rs == nil {
+			// Replication was released between the fast decline and this
+			// dispatch; serve plainly.
+			res, _, err := apply(arg)
+			return res, err
+		}
+		if err := mp.gate(); err != nil {
+			return proclet.Msg{}, err
+		}
+		res, recs, err := apply(arg)
+		if err != nil {
+			return proclet.Msg{}, err
+		}
+		if err := rs.replicate(ctx.Proc, recs...); err != nil {
+			return proclet.Msg{}, err
+		}
+		return res, nil
+	}
+}
+
 func (mp *MemoryProclet) registerMethods() {
 	mp.pr.HandleFast(methodMemGet, func(arg proclet.Msg) (proclet.Msg, error) {
+		if err := mp.gate(); err != nil {
+			return proclet.Msg{}, err
+		}
 		id := arg.Payload.(uint64)
 		e, ok := mp.objs[id]
 		if !ok {
@@ -115,32 +190,12 @@ func (mp *MemoryProclet) registerMethods() {
 		}
 		return proclet.Msg{Payload: e.val, Bytes: e.bytes}, nil
 	})
-	mp.pr.HandleFast(methodMemPut, func(arg proclet.Msg) (proclet.Msg, error) {
-		r := arg.Payload.(*putReq)
-		old, existed := mp.objs[r.id]
-		delta := r.bytes + objOverheadBytes
-		if existed {
-			delta -= old.bytes + objOverheadBytes
-		}
-		if err := mp.pr.GrowHeap(delta); err != nil {
-			return proclet.Msg{}, err
-		}
-		mp.objs[r.id] = objEntry{val: r.val, bytes: r.bytes}
-		return proclet.Msg{}, nil
-	})
-	mp.pr.HandleFast(methodMemDel, func(arg proclet.Msg) (proclet.Msg, error) {
-		id := arg.Payload.(uint64)
-		e, ok := mp.objs[id]
-		if !ok {
-			return proclet.Msg{}, fmt.Errorf("%w: obj %d", ErrNoObject, id)
-		}
-		delete(mp.objs, id)
-		if err := mp.pr.GrowHeap(-(e.bytes + objOverheadBytes)); err != nil {
-			return proclet.Msg{}, err
-		}
-		return proclet.Msg{}, nil
-	})
+	mp.pr.HandleWithFallback(methodMemPut, mp.fastMutator(mp.applyPut), mp.replMutator(mp.applyPut))
+	mp.pr.HandleWithFallback(methodMemDel, mp.fastMutator(mp.applyDel), mp.replMutator(mp.applyDel))
 	mp.pr.HandleFast(methodMemScan, func(arg proclet.Msg) (proclet.Msg, error) {
+		if err := mp.gate(); err != nil {
+			return proclet.Msg{}, err
+		}
 		r := arg.Payload.(*scanReq)
 		res := &scanRes{}
 		for _, id := range mp.idsInRange(r.lo, r.hi) {
@@ -151,41 +206,121 @@ func (mp *MemoryProclet) registerMethods() {
 		}
 		return proclet.Msg{Payload: res, Bytes: res.totalBytes()}, nil
 	})
-	mp.pr.HandleFast(methodMemPutBatch, func(arg proclet.Msg) (proclet.Msg, error) {
-		r := arg.Payload.(*scanRes)
-		var delta int64
-		for i, id := range r.ids {
-			if old, existed := mp.objs[id]; existed {
+	mp.pr.HandleWithFallback(methodMemPutBatch, mp.fastMutator(mp.applyPutBatch), mp.replMutator(mp.applyPutBatch))
+	mp.pr.HandleWithFallback(methodMemDelRange, mp.fastMutator(mp.applyDelRange), mp.replMutator(mp.applyDelRange))
+	mp.pr.HandleFast(methodMemReplApply, func(arg proclet.Msg) (proclet.Msg, error) {
+		// Backup side of log shipping: apply a record batch. Records are
+		// absolute effects, so reapplying after a retried ship is
+		// idempotent. A heap-growth failure leaves this backup stale and
+		// errors the ship; the primary drops and replaces it.
+		r := arg.Payload.(*replApplyReq)
+		for _, rec := range r.recs {
+			if rec.del {
+				if e, ok := mp.objs[rec.id]; ok {
+					delete(mp.objs, rec.id)
+					if err := mp.pr.GrowHeap(-(e.bytes + objOverheadBytes)); err != nil {
+						return proclet.Msg{}, err
+					}
+				}
+				continue
+			}
+			delta := rec.bytes + objOverheadBytes
+			if old, existed := mp.objs[rec.id]; existed {
 				delta -= old.bytes + objOverheadBytes
 			}
-			delta += r.bytes[i] + objOverheadBytes
-		}
-		if err := mp.pr.GrowHeap(delta); err != nil {
-			return proclet.Msg{}, err
-		}
-		for i, id := range r.ids {
-			mp.objs[id] = objEntry{val: r.vals[i], bytes: r.bytes[i]}
-			if id > mp.nextObj {
-				mp.nextObj = id
-			}
-		}
-		return proclet.Msg{}, nil
-	})
-	mp.pr.HandleFast(methodMemDelRange, func(arg proclet.Msg) (proclet.Msg, error) {
-		r := arg.Payload.(*scanReq)
-		var delta int64
-		for _, id := range mp.idsInRange(r.lo, r.hi) {
-			e := mp.objs[id]
-			delete(mp.objs, id)
-			delta -= e.bytes + objOverheadBytes
-		}
-		if delta != 0 {
 			if err := mp.pr.GrowHeap(delta); err != nil {
 				return proclet.Msg{}, err
 			}
+			mp.objs[rec.id] = objEntry{val: rec.val, bytes: rec.bytes}
+			if rec.id > mp.nextObj {
+				mp.nextObj = rec.id
+			}
 		}
 		return proclet.Msg{}, nil
 	})
+}
+
+func (mp *MemoryProclet) applyPut(arg proclet.Msg) (proclet.Msg, []repRecord, error) {
+	r := arg.Payload.(*putReq)
+	old, existed := mp.objs[r.id]
+	delta := r.bytes + objOverheadBytes
+	if existed {
+		delta -= old.bytes + objOverheadBytes
+	}
+	if err := mp.pr.GrowHeap(delta); err != nil {
+		return proclet.Msg{}, nil, err
+	}
+	mp.objs[r.id] = objEntry{val: r.val, bytes: r.bytes}
+	var recs []repRecord
+	if mp.rs != nil {
+		recs = []repRecord{{id: r.id, val: r.val, bytes: r.bytes}}
+	}
+	return proclet.Msg{}, recs, nil
+}
+
+func (mp *MemoryProclet) applyDel(arg proclet.Msg) (proclet.Msg, []repRecord, error) {
+	id := arg.Payload.(uint64)
+	e, ok := mp.objs[id]
+	if !ok {
+		return proclet.Msg{}, nil, fmt.Errorf("%w: obj %d", ErrNoObject, id)
+	}
+	delete(mp.objs, id)
+	if err := mp.pr.GrowHeap(-(e.bytes + objOverheadBytes)); err != nil {
+		return proclet.Msg{}, nil, err
+	}
+	var recs []repRecord
+	if mp.rs != nil {
+		recs = []repRecord{{id: id, del: true}}
+	}
+	return proclet.Msg{}, recs, nil
+}
+
+func (mp *MemoryProclet) applyPutBatch(arg proclet.Msg) (proclet.Msg, []repRecord, error) {
+	r := arg.Payload.(*scanRes)
+	var delta int64
+	for i, id := range r.ids {
+		if old, existed := mp.objs[id]; existed {
+			delta -= old.bytes + objOverheadBytes
+		}
+		delta += r.bytes[i] + objOverheadBytes
+	}
+	if err := mp.pr.GrowHeap(delta); err != nil {
+		return proclet.Msg{}, nil, err
+	}
+	var recs []repRecord
+	if mp.rs != nil {
+		recs = make([]repRecord, 0, len(r.ids))
+	}
+	for i, id := range r.ids {
+		mp.objs[id] = objEntry{val: r.vals[i], bytes: r.bytes[i]}
+		if id > mp.nextObj {
+			mp.nextObj = id
+		}
+		if mp.rs != nil {
+			recs = append(recs, repRecord{id: id, val: r.vals[i], bytes: r.bytes[i]})
+		}
+	}
+	return proclet.Msg{}, recs, nil
+}
+
+func (mp *MemoryProclet) applyDelRange(arg proclet.Msg) (proclet.Msg, []repRecord, error) {
+	r := arg.Payload.(*scanReq)
+	var delta int64
+	var recs []repRecord
+	for _, id := range mp.idsInRange(r.lo, r.hi) {
+		e := mp.objs[id]
+		delete(mp.objs, id)
+		delta -= e.bytes + objOverheadBytes
+		if mp.rs != nil {
+			recs = append(recs, repRecord{id: id, del: true})
+		}
+	}
+	if delta != 0 {
+		if err := mp.pr.GrowHeap(delta); err != nil {
+			return proclet.Msg{}, nil, err
+		}
+	}
+	return proclet.Msg{}, recs, nil
 }
 
 // UpdateFn mutates one object in place, inside the memory proclet —
@@ -204,46 +339,64 @@ type updateReq struct {
 // registerMutators installs the take/update methods (split out of
 // registerMethods for readability).
 func (mp *MemoryProclet) registerMutators() {
-	mp.pr.HandleFast(methodMemTake, func(arg proclet.Msg) (proclet.Msg, error) {
-		id := arg.Payload.(uint64)
-		e, ok := mp.objs[id]
-		if !ok {
-			return proclet.Msg{}, fmt.Errorf("%w: obj %d in %s", ErrNoObject, id, mp.pr.Name())
+	mp.pr.HandleWithFallback(methodMemTake, mp.fastMutator(mp.applyTake), mp.replMutator(mp.applyTake))
+	mp.pr.HandleWithFallback(methodMemUpdate, mp.fastMutator(mp.applyUpdate), mp.replMutator(mp.applyUpdate))
+}
+
+func (mp *MemoryProclet) applyTake(arg proclet.Msg) (proclet.Msg, []repRecord, error) {
+	id := arg.Payload.(uint64)
+	e, ok := mp.objs[id]
+	if !ok {
+		return proclet.Msg{}, nil, fmt.Errorf("%w: obj %d in %s", ErrNoObject, id, mp.pr.Name())
+	}
+	delete(mp.objs, id)
+	if err := mp.pr.GrowHeap(-(e.bytes + objOverheadBytes)); err != nil {
+		return proclet.Msg{}, nil, err
+	}
+	var recs []repRecord
+	if mp.rs != nil {
+		recs = []repRecord{{id: id, del: true}}
+	}
+	return proclet.Msg{Payload: e.val, Bytes: e.bytes}, recs, nil
+}
+
+func (mp *MemoryProclet) applyUpdate(arg proclet.Msg) (proclet.Msg, []repRecord, error) {
+	// The closure runs at the primary only; its resulting value — not
+	// the closure — is what replicates, so backups never re-run
+	// application code.
+	r := arg.Payload.(*updateReq)
+	old, existed := mp.objs[r.id]
+	val, bytes, keep := r.fn(old.val, existed)
+	var delta int64
+	switch {
+	case keep && existed:
+		delta = bytes - old.bytes
+	case keep:
+		delta = bytes + objOverheadBytes
+	case existed:
+		delta = -(old.bytes + objOverheadBytes)
+	default:
+		return proclet.Msg{}, nil, nil
+	}
+	if err := mp.pr.GrowHeap(delta); err != nil {
+		return proclet.Msg{}, nil, err
+	}
+	var recs []repRecord
+	if keep {
+		mp.objs[r.id] = objEntry{val: val, bytes: bytes}
+		if r.id > mp.nextObj {
+			mp.nextObj = r.id
 		}
-		delete(mp.objs, id)
-		if err := mp.pr.GrowHeap(-(e.bytes + objOverheadBytes)); err != nil {
-			return proclet.Msg{}, err
+		if mp.rs != nil {
+			recs = []repRecord{{id: r.id, val: val, bytes: bytes}}
 		}
-		return proclet.Msg{Payload: e.val, Bytes: e.bytes}, nil
-	})
-	mp.pr.HandleFast(methodMemUpdate, func(arg proclet.Msg) (proclet.Msg, error) {
-		r := arg.Payload.(*updateReq)
-		old, existed := mp.objs[r.id]
-		val, bytes, keep := r.fn(old.val, existed)
-		var delta int64
-		switch {
-		case keep && existed:
-			delta = bytes - old.bytes
-		case keep:
-			delta = bytes + objOverheadBytes
-		case existed:
-			delta = -(old.bytes + objOverheadBytes)
-		default:
-			return proclet.Msg{}, nil
+	} else {
+		delete(mp.objs, r.id)
+		if mp.rs != nil {
+			recs = []repRecord{{id: r.id, del: true}}
 		}
-		if err := mp.pr.GrowHeap(delta); err != nil {
-			return proclet.Msg{}, err
-		}
-		if keep {
-			mp.objs[r.id] = objEntry{val: val, bytes: bytes}
-			if r.id > mp.nextObj {
-				mp.nextObj = r.id
-			}
-		} else {
-			delete(mp.objs, r.id)
-		}
-		return proclet.Msg{}, nil
-	})
+	}
+	return proclet.Msg{}, recs, nil
 }
 
 // Put stores val at an explicit object ID (sharded structures derive
@@ -345,8 +498,12 @@ func (mp *MemoryProclet) HeapBytes() int64 { return mp.pr.HeapBytes() }
 // NumObjects returns the number of stored objects.
 func (mp *MemoryProclet) NumObjects() int { return len(mp.objs) }
 
-// Destroy removes the proclet and its objects.
+// Destroy removes the proclet and its objects. Destroying a replicated
+// primary tears down its backups too.
 func (mp *MemoryProclet) Destroy() error {
+	if mp.rs != nil {
+		mp.rs.release()
+	}
 	mp.sys.Sched.unregister(mp.pr.ID())
 	return mp.sys.Runtime.Destroy(mp.pr.ID())
 }

@@ -42,9 +42,17 @@ func (s *System) AttachInjector(in *fault.Injector) {
 // handleCrash runs at the instant a machine fail-stops. Orphaning is
 // synchronous (routing must start failing fast immediately); the
 // re-placement work runs on its own process so the injector never
-// blocks the kernel.
+// blocks the kernel. With the replication plane installed, the
+// recovery *decision* is deferred to the failure detector: orphans are
+// parked until heartbeats confirm the machine dead (or see it answer
+// again) — the oracle knowledge that a crash happened is no longer
+// consumed by the control plane.
 func (s *System) handleCrash(mid cluster.MachineID) {
 	orphans := s.Runtime.CrashMachine(mid)
+	if s.repl != nil {
+		s.repl.noteOrphans(mid, orphans)
+		return
+	}
 	if len(orphans) == 0 {
 		return
 	}

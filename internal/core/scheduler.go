@@ -180,6 +180,25 @@ func (sc *Scheduler) PlaceMemory(bytes int64) (cluster.MachineID, error) {
 	return best.ID, nil
 }
 
+// PlaceMemoryExcluding is PlaceMemory restricted to machines outside
+// `exclude` — anti-affine placement for replicas, which are worthless
+// on a machine already hosting a copy of the same data.
+func (sc *Scheduler) PlaceMemoryExcluding(bytes int64, exclude map[cluster.MachineID]bool) (cluster.MachineID, error) {
+	var best *cluster.Machine
+	for _, m := range sc.sys.Cluster.Machines() {
+		if exclude[m.ID] || m.Down() || m.MemFree() < bytes {
+			continue
+		}
+		if best == nil || m.MemFree() > best.MemFree() {
+			best = m
+		}
+	}
+	if best == nil {
+		return 0, fmt.Errorf("%w: anti-affine memory for %d bytes", ErrNoCapacity, bytes)
+	}
+	return best.ID, nil
+}
+
 // computeLoad estimates machine m's best-effort CPU load: registered
 // compute demand over available cores.
 func (sc *Scheduler) computeLoad(m *cluster.Machine, extra float64) float64 {

@@ -111,7 +111,8 @@ type System struct {
 	Trace   *trace.Log
 
 	cfg     Config
-	rebuild Rebuilder // memory-proclet reconstruction hook (recovery.go)
+	rebuild Rebuilder    // memory-proclet reconstruction hook (recovery.go)
+	repl    *ReplManager // durability plane, nil unless enabled (replication.go)
 }
 
 // NewSystem builds a Quicksand system over machines with the given

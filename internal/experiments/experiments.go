@@ -21,6 +21,8 @@
 //	ext-memharvest extension — memory harvesting without data loss
 //	abl-postcopy   ablation  — blackout of pre- vs post-copy migration
 //	ext-tiering    extension — cold shards spill to a flash tier
+//	ext-chaos      extension — goodput under injected crashes/partitions
+//	ext-failover   extension — replicated proclets, leases, failover
 package experiments
 
 import (
@@ -122,7 +124,7 @@ func SetParallelism(n int) {
 func Parallelism() int { return parallelism }
 
 // baseSeed offsets the RNG seeds of the seed-swept experiments (fig2,
-// ext-chaos) so CI can verify determinism at several seeds: two runs at
+// ext-chaos, ext-failover) so CI can verify determinism at several seeds: two runs at
 // the same base seed must be byte-identical, while different base seeds
 // explore different schedules. The default of zero leaves every
 // experiment at its committed seed, so the BENCH_*.json baselines are
@@ -174,6 +176,7 @@ var registry = map[string]struct {
 	"abl-postcopy":    {"pre-copy vs post-copy (CXL-style) migration", runAblPostcopy},
 	"ext-tiering":     {"extension: flash as slow cheap memory for sharded data", runExtTiering},
 	"ext-chaos":       {"extension: goodput dip and recovery under injected crashes and partitions", runExtChaos},
+	"ext-failover":    {"extension: replicated memory proclets fail over a crash without data loss", runExtFailover},
 }
 
 // List returns registered experiment IDs, sorted.

@@ -7,8 +7,8 @@ import (
 
 func TestListAndTitles(t *testing.T) {
 	ids := List()
-	if len(ids) != 16 {
-		t.Fatalf("List() = %v, want 16 experiments", ids)
+	if len(ids) != 17 {
+		t.Fatalf("List() = %v, want 17 experiments", ids)
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -417,6 +417,62 @@ func TestExtChaosShape(t *testing.T) {
 			res.Values["ops"], res.Values["ops_nofault"])
 	}
 	if len(res.Series["goodput_chaos"]) == 0 || len(res.Series["goodput_nofault"]) == 0 {
+		t.Error("missing goodput series")
+	}
+	// The RF=2 variant has no rebuilder: acked writes must survive the
+	// same fault schedule on replicas alone, including the false
+	// suspicion induced by the 0-2 partition.
+	if res.Values["lost_repl"] != 0 {
+		t.Errorf("lost_repl = %v acked objects, want 0 (no rebuilder, RF=2)", res.Values["lost_repl"])
+	}
+	if res.Values["promotions"] < 2 {
+		t.Errorf("promotions = %v, want >= 2", res.Values["promotions"])
+	}
+	if res.Values["ops_repl"] <= 0 {
+		t.Error("rf2 chaos run completed no ops")
+	}
+	if len(res.Series["goodput_repl"]) == 0 {
+		t.Error("missing goodput_repl series")
+	}
+}
+
+func TestExtFailoverShape(t *testing.T) {
+	res, err := Run("ext-failover", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline guarantee: at RF=2 no acked write is lost, with no
+	// rebuilder anywhere — durability comes from replication alone.
+	if res.Values["lost_rf2"] != 0 {
+		t.Errorf("lost_rf2 = %v acked objects, want 0", res.Values["lost_rf2"])
+	}
+	// RF=1 with no rebuilder must visibly lose the crashed stores,
+	// otherwise the comparison proves nothing.
+	if res.Values["lost_rf1"] <= 0 {
+		t.Errorf("lost_rf1 = %v, want > 0 (no rebuilder at RF=1)", res.Values["lost_rf1"])
+	}
+	if res.Values["promotions"] < 2 {
+		t.Errorf("promotions = %v, want >= 2 (two affected primaries)", res.Values["promotions"])
+	}
+	if res.Values["confirms"] < 1 {
+		t.Errorf("confirms = %v, want >= 1", res.Values["confirms"])
+	}
+	// Failover latency must be measured and bounded by the detector's
+	// confirm window plus restore, far below the horizon.
+	if fo := res.Values["failover_ms_max"]; fo <= 0 || fo > 40 {
+		t.Errorf("failover_ms_max = %.2f ms, want (0, 40]", fo)
+	}
+	if res.Values["ops_rf2"] <= 0 || res.Values["ops_rf1"] <= 0 {
+		t.Error("both fault runs should complete ops")
+	}
+	// Replication costs something but not everything.
+	if ov := res.Values["overhead_frac"]; ov < 0 || ov > 0.9 {
+		t.Errorf("overhead_frac = %.2f, want [0, 0.9]", ov)
+	}
+	if res.Values["repl_records"] <= 0 {
+		t.Error("rf2 run shipped no replication records")
+	}
+	if len(res.Series["goodput_rf2"]) == 0 || len(res.Series["goodput_rf1"]) == 0 {
 		t.Error("missing goodput series")
 	}
 }

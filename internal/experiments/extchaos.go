@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/proclet"
+	"repro/internal/replication"
 	"repro/internal/runpar"
 	"repro/internal/sim"
 )
@@ -102,14 +103,15 @@ func chaosSchedule(h sim.Time) (fault.Schedule, sim.Time, sim.Time) {
 
 // chaosOutcome is one run's measurements.
 type chaosOutcome struct {
-	goodput []float64 // completed ops per bucket
-	ops     int64     // total acked ops
-	failed  int64     // ops that exhausted retries
-	lost    int64     // acked objects missing at the end
-	crashes int64
-	recover int64 // orphans successfully re-placed
-	events  uint64
-	trace   []string
+	goodput    []float64 // completed ops per bucket
+	ops        int64     // total acked ops
+	failed     int64     // ops that exhausted retries
+	lost       int64     // acked objects missing at the end
+	crashes    int64
+	recover    int64 // orphans successfully re-placed
+	promotions int64 // backup promotions (replicated run only)
+	events     uint64
+	trace      []string
 }
 
 // chaosItem is one acked op's record (the durable source rebuilds from
@@ -121,14 +123,23 @@ type chaosItem struct {
 }
 
 // runChaosOnce drives the workload, with or without the fault
-// schedule.
-func runChaosOnce(cfg chaosCfg, inject bool) (chaosOutcome, error) {
+// schedule. At rf >= 2 the stores are replicated through the
+// lease/heartbeat plane and there is NO rebuilder: durability must come
+// from replication alone, including through the false suspicion the
+// 0-2 partition induces (the monitor on m0 confirms a perfectly
+// healthy m2 dead; leases make the resulting promotion safe).
+func runChaosOnce(cfg chaosCfg, inject bool, rf int) (chaosOutcome, error) {
 	var out chaosOutcome
 	sysCfg := core.DefaultConfig()
 	sysCfg.Seed = seeded(11)
 	sys := core.NewSystem(sysCfg, cfg.machines)
 	defer sys.Close()
 	sys.Start()
+
+	var rm *core.ReplManager
+	if rf >= 2 {
+		rm = sys.EnableReplicationPlane(replication.Config{}, 0)
+	}
 
 	// The durable source: every acked put is recorded host-side, per
 	// store, and replayed by the rebuilder when a store's machine dies.
@@ -144,10 +155,15 @@ func runChaosOnce(cfg chaosCfg, inject bool) (chaosOutcome, error) {
 		if err != nil {
 			return out, err
 		}
+		if rm != nil {
+			if err := rm.Replicate(mp, rf); err != nil {
+				return out, err
+			}
+		}
 		stores[i] = mp
 		byProclet[mp.ID()] = i
 	}
-	sys.SetRebuilder(func(p *sim.Proc, mp *core.MemoryProclet) error {
+	rebuilder := func(p *sim.Proc, mp *core.MemoryProclet) error {
 		idx, ok := byProclet[mp.ID()]
 		if !ok {
 			return nil
@@ -164,7 +180,10 @@ func runChaosOnce(cfg chaosCfg, inject bool) (chaosOutcome, error) {
 			ids[i], vals[i], sizes[i] = it.key, it.val, it.bytes
 		}
 		return mp.PutBatch(p, 0, ids, vals, sizes)
-	})
+	}
+	if rm == nil {
+		sys.SetRebuilder(rebuilder)
+	}
 
 	pool := make([]*core.ComputeProclet, cfg.pool)
 	for i := range pool {
@@ -256,6 +275,9 @@ func runChaosOnce(cfg chaosCfg, inject bool) (chaosOutcome, error) {
 		out.crashes = in.Crashes.Value()
 		out.recover = sys.Sched.Recoveries.Value()
 	}
+	if rm != nil {
+		out.promotions = rm.Promotions.Value()
+	}
 	for _, e := range sys.Trace.Events() {
 		out.trace = append(out.trace, e.String())
 	}
@@ -288,16 +310,23 @@ func runExtChaos(scale Scale) (*Result, error) {
 	res.addf("faults: crash m1 @%v, partition 0-2 @%v, crash m2 + degrade 0-3 @%v; all healed by %v",
 		firstFault, sim.Time(float64(cfg.horizon)*0.40), sim.Time(float64(cfg.horizon)*0.55), finalHeal)
 
-	// The chaos run and the identically-seeded no-fault run are
-	// independent simulations; fan them across host cores.
-	outs, err := runpar.MapErr(2, parallelism, func(i int) (chaosOutcome, error) {
-		return runChaosOnce(cfg, i == 0)
+	// Three independent simulations fanned across host cores: the chaos
+	// run (rebuilder-backed, RF=1), the identically-seeded no-fault run,
+	// and the same chaos schedule at RF=2 with NO rebuilder — acked
+	// writes must survive on replicas alone.
+	type variant struct {
+		inject bool
+		rf     int
+	}
+	variants := []variant{{true, 1}, {false, 1}, {true, 2}}
+	outs, err := runpar.MapErr(len(variants), parallelism, func(i int) (chaosOutcome, error) {
+		return runChaosOnce(cfg, variants[i].inject, variants[i].rf)
 	})
 	if err != nil {
 		return nil, err
 	}
-	chaos, base := outs[0], outs[1]
-	res.EventsProcessed = chaos.events + base.events
+	chaos, base, repl := outs[0], outs[1], outs[2]
+	res.EventsProcessed = chaos.events + base.events + repl.events
 	res.Trace = chaos.trace
 
 	baseMean := meanOver(base.goodput, cfg.bucket, cfg.warmup, cfg.horizon)
@@ -332,12 +361,15 @@ func runExtChaos(scale Scale) (*Result, error) {
 	}
 	res.Series["goodput_chaos"] = chaos.goodput
 	res.Series["goodput_nofault"] = base.goodput
+	res.Series["goodput_repl"] = repl.goodput
 
-	res.addf("%-22s %12s %12s", "", "chaos", "no-fault")
-	res.addf("%-22s %12d %12d", "ops acked", chaos.ops, base.ops)
-	res.addf("%-22s %12d %12d", "ops failed", chaos.failed, base.failed)
-	res.addf("%-22s %12d %12d", "objects lost", chaos.lost, base.lost)
+	res.addf("%-22s %12s %12s %12s", "", "chaos", "no-fault", "chaos-rf2")
+	res.addf("%-22s %12d %12d %12d", "ops acked", chaos.ops, base.ops, repl.ops)
+	res.addf("%-22s %12d %12d %12d", "ops failed", chaos.failed, base.failed, repl.failed)
+	res.addf("%-22s %12d %12d %12d", "objects lost", chaos.lost, base.lost, repl.lost)
 	res.addf("crashes injected: %d, orphans re-placed: %d", chaos.crashes, chaos.recover)
+	res.addf("rf2 run: no rebuilder; %d promotions covered the crashes and the false", repl.promotions)
+	res.addf("suspicion from the 0-2 partition (leases keep the deposed primary silent).")
 	res.addf("goodput: no-fault mean %.1f ops/bucket; worst fault-window bucket %.1f (%.0f%%)",
 		baseMean, dip, 100*dip/baseMean)
 	res.addf("recovery: %.1f ms after final heal to reach %.0f%% of no-fault goodput; tail at %.0f%%",
@@ -354,5 +386,9 @@ func runExtChaos(scale Scale) (*Result, error) {
 	res.set("dip_frac", dip/baseMean)
 	res.set("recovery_ms", recoveryMS)
 	res.set("recovered_frac", recoveredFrac)
+	res.set("ops_repl", float64(repl.ops))
+	res.set("failed_repl", float64(repl.failed))
+	res.set("lost_repl", float64(repl.lost))
+	res.set("promotions", float64(repl.promotions))
 	return res, nil
 }

@@ -40,6 +40,12 @@ var (
 	ErrMigrating = errors.New("proclet: migration already in progress")
 	ErrRetries   = errors.New("proclet: invocation retries exhausted")
 	ErrCrashed   = errors.New("proclet: hosting machine crashed")
+	// ErrUnavailable means the target proclet exists but temporarily
+	// refuses to serve — e.g. a replicated primary whose serving lease
+	// lapsed during a partition, or one deposed mid-request by a
+	// failover. It is retryable: the caller backs off and re-routes,
+	// landing on the promoted replica once the directory updates.
+	ErrUnavailable = errors.New("proclet: proclet temporarily unavailable")
 )
 
 // State is a proclet's lifecycle state.
@@ -175,6 +181,28 @@ func (pr *Proclet) HandleFast(method string, fn FastMethod) {
 		pr.fastMethods = make(map[string]FastMethod)
 	}
 	pr.fastMethods[method] = fn
+}
+
+// HandleWithFallback registers the same method name on both dispatch
+// tables: fast serves the common case inline, and may decline any
+// individual invocation by returning simnet.ErrWouldBlock, which
+// re-dispatches that invocation to blocking on a handler process. This
+// is how a method stays on the zero-overhead inline path in one
+// configuration (an unreplicated memory-proclet write) while paying for
+// a blocking protocol in another (the same write shipping a replication
+// record before acking).
+func (pr *Proclet) HandleWithFallback(method string, fast FastMethod, blocking Method) {
+	if _, dup := pr.fastMethods[method]; dup {
+		panic(fmt.Sprintf("proclet: duplicate fast method %q on %s", method, pr.name))
+	}
+	if _, dup := pr.methods[method]; dup {
+		panic(fmt.Sprintf("proclet: duplicate method %q on %s", method, pr.name))
+	}
+	if pr.fastMethods == nil {
+		pr.fastMethods = make(map[string]FastMethod)
+	}
+	pr.fastMethods[method] = fast
+	pr.methods[method] = blocking
 }
 
 // GrowHeap adjusts the proclet's accounted state size by delta bytes

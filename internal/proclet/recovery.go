@@ -77,6 +77,35 @@ func (rt *Runtime) CrashMachine(mid cluster.MachineID) []*Proclet {
 	return orphans
 }
 
+// Depose detaches a proclet from a machine that is still alive — the
+// false-confirmation case: the failure detector confirmed the machine
+// dead (it is partitioned from the monitor) but it never crashed. The
+// proclet's heap charge is released and it becomes StateOrphaned so a
+// failover can Restore it elsewhere; invocations arriving at the old
+// machine find no local entry and chase ErrMoved to the new location.
+// Safe only because the lease protocol already stopped the old primary
+// from serving: its lease lapsed strictly before the confirmation.
+func (rt *Runtime) Depose(pr *Proclet) error {
+	if pr.state != StateRunning {
+		return fmt.Errorf("proclet: Depose on %s in state %v", pr.name, pr.state)
+	}
+	mid := pr.machine
+	rt.freeHeap(pr)
+	pr.heapBytes = 0
+	delete(rt.local[mid], pr.id)
+	pr.state = StateOrphaned
+	pr.lazyWindow = false
+	for task := range pr.tasks {
+		task.Cancel()
+	}
+	pr.tasks = make(map[*cluster.Task]struct{})
+	pr.unblocked.Broadcast()
+	pr.drained.Broadcast()
+	rt.Trace.Emitf(rt.k.Now(), trace.KindRepl, pr.name, int(mid), -1,
+		"deposed id=%d (false confirmation)", pr.id)
+	return nil
+}
+
 // Restore places an orphaned proclet onto live machine `to`, charging
 // its accounted heap size there and resuming its threads. Memory
 // contents are NOT restored — the proclet's state is whatever its Data

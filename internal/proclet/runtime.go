@@ -272,7 +272,22 @@ func (rt *Runtime) locate(p *sim.Proc, m cluster.MachineID, target ID) (cluster.
 func (rt *Runtime) Invoke(p *sim.Proc, fromMachine cluster.MachineID, from ID, target ID, method string, arg Msg) (Msg, error) {
 	req := rt.getReq()
 	req.From, req.Target, req.Method, req.Arg = from, target, method, arg
-	res, err := rt.invoke(p, fromMachine, req)
+	res, err := rt.invoke(p, fromMachine, req, rt.cfg.MaxInvokeRetries)
+	rt.putReq(req)
+	return res, err
+}
+
+// InvokeLimited is Invoke with an explicit attempt bound overriding
+// MaxInvokeRetries. Replication shipping uses a small bound so a write
+// is not stalled for the full retry budget by one dead backup: the
+// shipper drops the backup quickly and re-replication repairs the set.
+func (rt *Runtime) InvokeLimited(p *sim.Proc, fromMachine cluster.MachineID, from ID, target ID, method string, arg Msg, maxAttempts int) (Msg, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	req := rt.getReq()
+	req.From, req.Target, req.Method, req.Arg = from, target, method, arg
+	res, err := rt.invoke(p, fromMachine, req, maxAttempts)
 	rt.putReq(req)
 	return res, err
 }
@@ -331,16 +346,18 @@ func (rt *Runtime) backoffDelay(retry int) time.Duration {
 }
 
 // retryable reports whether an invocation error is worth retrying after
-// a backoff: the node may restart, the partition may heal, or recovery
-// may re-place the target elsewhere.
+// a backoff: the node may restart, the partition may heal, recovery
+// may re-place the target elsewhere, or a lapsed lease may be renewed
+// (or its holder deposed and a replica promoted).
 func retryable(err error) bool {
-	return errors.Is(err, simnet.ErrNodeDown) || errors.Is(err, simnet.ErrTimeout)
+	return errors.Is(err, simnet.ErrNodeDown) || errors.Is(err, simnet.ErrTimeout) ||
+		errors.Is(err, ErrUnavailable)
 }
 
-func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invokeReq) (Msg, error) {
+func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invokeReq, maxAttempts int) (Msg, error) {
 	var lastErr error
 	retries := 0
-	for attempt := 0; attempt < rt.cfg.MaxInvokeRetries; attempt++ {
+	for attempt := 0; attempt < maxAttempts; attempt++ {
 		loc, err := rt.locate(p, fromMachine, req.Target)
 		if err != nil {
 			return Msg{}, err
@@ -357,7 +374,19 @@ func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invok
 			}
 			p.Sleep(rt.cfg.LocalInvokeOverhead)
 			rt.LocalInvokes.Inc()
-			return rt.exec(p, pr, req.From, req.Method, req.Arg)
+			res, err := rt.exec(p, pr, req.From, req.Method, req.Arg)
+			if errors.Is(err, ErrUnavailable) {
+				// A lease-lapsed or deposed primary refused to serve;
+				// back off and re-route (the proclet may be promoted
+				// onto another machine meanwhile).
+				lastErr = err
+				delete(rt.caches[fromMachine], req.Target)
+				rt.InvokeRetries.Inc()
+				p.Sleep(rt.backoffDelay(retries))
+				retries++
+				continue
+			}
+			return res, err
 		}
 		reply, err := rt.Cluster.Fabric.CallWithTimeout(p,
 			simnet.NodeID(fromMachine), simnet.NodeID(loc),
@@ -433,6 +462,13 @@ func (rt *Runtime) execFastOn(m cluster.MachineID, r *invokeReq) (Msg, error) {
 		return Msg{}, fmt.Errorf("%w: %q on %s", ErrNoMethod, r.Method, pr.name)
 	}
 	res, err := fn(r.Arg)
+	if errors.Is(err, simnet.ErrWouldBlock) {
+		// The fast registration declined this particular invocation
+		// (e.g. a write that must ship replication records); it will be
+		// re-dispatched to the blocking fallback, which does its own
+		// counting and accounting.
+		return Msg{}, simnet.ErrWouldBlock
+	}
 	rt.FastInvokes.Inc()
 	rt.account(pr, r.From, r.Arg, res)
 	return res, err
@@ -444,18 +480,20 @@ func (rt *Runtime) execFastOn(m cluster.MachineID, r *invokeReq) (Msg, error) {
 // the active count: they execute atomically within the current event,
 // so a migration drain can never observe one in flight.
 func (rt *Runtime) exec(p *sim.Proc, pr *Proclet, from ID, method string, arg Msg) (Msg, error) {
-	if fn, ok := pr.fastMethods[method]; ok {
-		rt.lazyPenalty(p, pr)
-		res, err := fn(arg)
-		rt.FastInvokes.Inc()
-		rt.account(pr, from, arg, res)
-		return res, err
+	rt.lazyPenalty(p, pr)
+	if fastFn, ok := pr.fastMethods[method]; ok {
+		res, err := fastFn(arg)
+		if !errors.Is(err, simnet.ErrWouldBlock) {
+			rt.FastInvokes.Inc()
+			rt.account(pr, from, arg, res)
+			return res, err
+		}
+		// Declined: fall through to the blocking fallback registration.
 	}
 	fn, ok := pr.methods[method]
 	if !ok {
 		return Msg{}, fmt.Errorf("%w: %q on %s", ErrNoMethod, method, pr.name)
 	}
-	rt.lazyPenalty(p, pr)
 	pr.active++
 	ctx := rt.getCtx()
 	ctx.Proc, ctx.Self, ctx.From = p, pr, from

@@ -56,6 +56,9 @@ func NewMap[K comparable, V any](sys *core.System, name string, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
+	if idx, err = replicate(sys, idx, opts); err != nil {
+		return nil, err
+	}
 	m.index = idx
 	sys.Sched.Pin(idx.ID())
 	sh, err := m.newShard()
@@ -71,7 +74,11 @@ func NewMap[K comparable, V any](sys *core.System, name string, opts Options) (*
 
 func (m *Map[K, V]) newShard() (*core.MemoryProclet, error) {
 	m.nextShard++
-	return m.sys.NewMemoryProclet(fmt.Sprintf("%s.shard-%d", m.name, m.nextShard), m.opts.MaxShardBytes/2)
+	mp, err := m.sys.NewMemoryProclet(fmt.Sprintf("%s.shard-%d", m.name, m.nextShard), m.opts.MaxShardBytes/2)
+	if err != nil {
+		return nil, err
+	}
+	return replicate(m.sys, mp, m.opts)
 }
 
 // Name returns the map's name.

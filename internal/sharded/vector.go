@@ -62,9 +62,15 @@ type vshard struct {
 // the scheduler.
 func NewVector[T any](sys *core.System, name string, opts Options) (*Vector[T], error) {
 	opts = opts.withDefaults(sys)
+	if opts.Spill != nil && opts.Replicas >= 2 {
+		return nil, errors.New("sharded: Replicas and Spill are mutually exclusive")
+	}
 	v := &Vector[T]{sys: sys, name: name, opts: opts, ops: newOpTracker()}
 	idx, err := sys.NewMemoryProclet(name+".index", 4096)
 	if err != nil {
+		return nil, err
+	}
+	if idx, err = replicate(sys, idx, opts); err != nil {
 		return nil, err
 	}
 	v.index = idx
@@ -82,7 +88,11 @@ func NewVector[T any](sys *core.System, name string, opts Options) (*Vector[T], 
 
 func (v *Vector[T]) newShard() (*core.MemoryProclet, error) {
 	v.nextShard++
-	return v.sys.NewMemoryProclet(fmt.Sprintf("%s.shard-%d", v.name, v.nextShard), v.opts.MaxShardBytes/2)
+	mp, err := v.sys.NewMemoryProclet(fmt.Sprintf("%s.shard-%d", v.name, v.nextShard), v.opts.MaxShardBytes/2)
+	if err != nil {
+		return nil, err
+	}
+	return replicate(v.sys, mp, v.opts)
 }
 
 // Name returns the vector's name.

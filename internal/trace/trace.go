@@ -26,6 +26,8 @@ const (
 	KindCrash     Kind = "crash"   // a machine failed (fault injection)
 	KindRecover   Kind = "recover" // a machine restarted or a proclet was re-placed
 	KindFault     Kind = "fault"   // a link fault was installed or healed
+	KindSuspect   Kind = "suspect" // a failure-detector state transition
+	KindRepl      Kind = "repl"    // replication plane: ship, promote, depose, resync
 )
 
 // Event is one control-plane occurrence. From/To are machine IDs (as
