@@ -6,7 +6,16 @@
 //
 // Usage:
 //
-//	qsctl [-scenario filler|pipeline|churn|gpu|replicas] [-horizon-ms N] [-events]
+//	qsctl [-scenario <name>] [-horizon-ms N] [-events] [-trace-out run.json]
+//	qsctl -scenario list
+//	qsctl analyze run.jsonl [-top N]
+//
+// -trace-out enables causal span tracing and resource telemetry for
+// the run and writes the result to the given path: a .json file is
+// Chrome trace-event JSON (open in Perfetto or chrome://tracing); a
+// .jsonl file is the compact record stream `qsctl analyze` digests
+// into slowest-migration, per-method latency, and per-machine
+// utilization reports.
 //
 // The replicas scenario runs a replicated store fleet through a crash
 // and dumps per-proclet replication status: primary location, lease
@@ -17,13 +26,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/sharded"
 	"repro/internal/sim"
@@ -31,86 +43,195 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	scenario := flag.String("scenario", "filler", "scenario: filler, pipeline, churn, gpu, or replicas")
-	horizonMs := flag.Int("horizon-ms", 100, "virtual run length in milliseconds")
-	events := flag.Bool("events", false, "dump the full event trace")
-	flag.Parse()
+// scenario is one canned run: its machine fleet and its driver.
+type scenario struct {
+	name     string
+	desc     string
+	machines func() []cluster.MachineConfig
+	run      func(sys *core.System, horizon sim.Time, out io.Writer) error
+}
 
-	machines := []cluster.MachineConfig{
+// twoBig is the default fleet: two 8-core, 2 GiB machines.
+func twoBig() []cluster.MachineConfig {
+	return []cluster.MachineConfig{
 		{Cores: 8, MemBytes: 2 << 30},
 		{Cores: 8, MemBytes: 2 << 30},
 	}
-	if *scenario == "replicas" {
+}
+
+// scenarios is the ordered registry -scenario resolves against.
+var scenarios = []scenario{
+	{"filler", "anti-phased antagonists with a migrating filler pool (fig-1 style)", twoBig, runFiller},
+	{"pipeline", "sharded preprocessing pipeline feeding a GPU queue", twoBig, runPipeline},
+	{"churn", "sharded map under insert/delete waves plus a bursty memory co-tenant", func() []cluster.MachineConfig {
+		// Small machines so the co-tenant's bursts push m0 past the
+		// memory high water: every burst yields pressure → migration
+		// causal chains in the exported trace.
+		return []cluster.MachineConfig{
+			{Cores: 8, MemBytes: 64 << 20},
+			{Cores: 8, MemBytes: 64 << 20},
+		}
+	}, runChurn},
+	{"gpu", "trainers on spot GPUs with rotating reclamation", twoBig, runGPU},
+	{"replicas", "replicated store fleet driven through a primary crash", func() []cluster.MachineConfig {
 		// Replication needs room for anti-affine backups plus a monitor
 		// machine that survives the scripted crash.
-		machines = []cluster.MachineConfig{
+		return []cluster.MachineConfig{
 			{Cores: 8, MemBytes: 2 << 30},
 			{Cores: 8, MemBytes: 2 << 30},
 			{Cores: 8, MemBytes: 2 << 30},
 			{Cores: 8, MemBytes: 2 << 30},
 		}
+	}, runReplicas},
+}
+
+func findScenario(name string) *scenario {
+	for i := range scenarios {
+		if scenarios[i].name == name {
+			return &scenarios[i]
+		}
 	}
-	sys := core.NewSystem(core.DefaultConfig(), machines)
+	return nil
+}
+
+func listScenarios(w io.Writer) {
+	fmt.Fprintln(w, "scenarios:")
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "  %-10s %s\n", sc.name, sc.desc)
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, for tests. Returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "analyze" {
+		return runAnalyze(args[1:], stdout, stderr)
+	}
+
+	fs := flag.NewFlagSet("qsctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenarioName := fs.String("scenario", "filler", "scenario to run, or \"list\" to enumerate")
+	horizonMs := fs.Int("horizon-ms", 100, "virtual run length in milliseconds")
+	events := fs.Bool("events", false, "dump the full event trace")
+	traceOut := fs.String("trace-out", "", "enable tracing+telemetry and write the run here (.json: Chrome trace-event; .jsonl: qsctl analyze input)")
+	samplePeriod := fs.Duration("sample-period", 250*time.Microsecond, "telemetry sampling cadence (with -trace-out)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scenarioName == "list" {
+		listScenarios(stdout)
+		return 0
+	}
+	sc := findScenario(*scenarioName)
+	if sc == nil {
+		fmt.Fprintf(stderr, "qsctl: unknown scenario %q\n", *scenarioName)
+		listScenarios(stderr)
+		return 2
+	}
+
+	sys := core.NewSystem(core.DefaultConfig(), sc.machines())
 	for _, m := range sys.Cluster.Machines() {
 		m.TrackUtilization()
+	}
+	if *traceOut != "" {
+		sys.EnableTracing()
+		sys.EnableTelemetry(*samplePeriod)
 	}
 	sys.Start()
 
 	horizon := sim.Time(time.Duration(*horizonMs) * time.Millisecond)
-	var err error
-	switch *scenario {
-	case "filler":
-		err = runFiller(sys, horizon)
-	case "pipeline":
-		err = runPipeline(sys, horizon)
-	case "churn":
-		err = runChurn(sys, horizon)
-	case "gpu":
-		err = runGPU(sys, horizon)
-	case "replicas":
-		err = runReplicas(sys, horizon)
-	default:
-		fmt.Fprintf(os.Stderr, "qsctl: unknown scenario %q\n", *scenario)
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "qsctl: %v\n", err)
-		os.Exit(1)
+	if err := sc.run(sys, horizon, stdout); err != nil {
+		fmt.Fprintf(stderr, "qsctl: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("scenario %q ran to %v (%d events)\n\n", *scenario, sys.K.Now(), sys.K.EventsProcessed())
-	fmt.Println("-- control plane summary --")
+	fmt.Fprintf(stdout, "scenario %q ran to %v (%d events)\n\n", sc.name, sys.K.Now(), sys.K.EventsProcessed())
+	fmt.Fprintln(stdout, "-- control plane summary --")
 	for _, kind := range []trace.Kind{trace.KindSpawn, trace.KindMigrate, trace.KindSplit,
 		trace.KindMerge, trace.KindPressure, trace.KindRebalance, trace.KindDestroy} {
-		fmt.Printf("%-10s %5d\n", kind, sys.Trace.Count(kind))
+		fmt.Fprintf(stdout, "%-10s %5d\n", kind, sys.Trace.Count(kind))
 	}
-	fmt.Printf("\n-- migrations --\n")
+	fmt.Fprintf(stdout, "\n-- migrations --\n")
 	ml := sys.Runtime.MigrationLatency
-	fmt.Printf("count %d  mean %.3f ms  p99 %.3f ms  max %.3f ms\n",
+	fmt.Fprintf(stdout, "count %d  mean %.3f ms  p99 %.3f ms  max %.3f ms\n",
 		ml.Count(), ml.Mean()*1000, ml.Percentile(99)*1000, ml.Max()*1000)
-	fmt.Printf("\n-- machines --\n")
+	fmt.Fprintf(stdout, "\n-- machines --\n")
 	for _, m := range sys.Cluster.Machines() {
 		util := 0.0
 		if m.Util != nil {
 			util = m.Util.Mean(0, sys.K.Now()) / m.Cores() * 100
 		}
-		fmt.Printf("m%d: %2.0f cores, mem %d/%d MiB, mean cpu util %.1f%%, core-seconds %.3f\n",
+		fmt.Fprintf(stdout, "m%d: %2.0f cores, mem %d/%d MiB, mean cpu util %.1f%%, core-seconds %.3f\n",
 			m.ID, m.Cores(), m.MemUsed()>>20, m.MemCapacity()>>20, util, m.CoreSeconds)
 	}
-	fmt.Printf("\n-- proclets --\n")
+	fmt.Fprintf(stdout, "\n-- proclets --\n")
 	for _, pr := range sys.Runtime.Proclets() {
-		fmt.Printf("%-20s id=%-4d machine=%d heap=%dKiB invocations=%d\n",
+		fmt.Fprintf(stdout, "%-20s id=%-4d machine=%d heap=%dKiB invocations=%d\n",
 			pr.Name(), pr.ID(), pr.Location(), pr.HeapBytes()>>10, pr.Invocations())
 	}
 	if *events {
-		fmt.Printf("\n-- event trace --\n%s", sys.Trace.String())
+		fmt.Fprintf(stdout, "\n-- event trace --\n%s", sys.Trace.String())
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, sys); err != nil {
+			fmt.Fprintf(stderr, "qsctl: writing trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nwrote %d spans, %d telemetry series to %s\n",
+			sys.Obs.Len(), len(sys.Tel.Series()), *traceOut)
+	}
+	return 0
+}
+
+// writeTrace exports the run's spans and samples: Chrome trace-event
+// JSON by default, compact JSONL when the path ends in .jsonl.
+func writeTrace(path string, sys *core.System) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return obs.WriteJSONL(f, sys.Obs, sys.Tel)
+	}
+	return obs.WriteChromeTrace(f, sys.Obs, sys.Tel)
+}
+
+// runAnalyze implements `qsctl analyze run.jsonl`.
+func runAnalyze(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qsctl analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 10, "slowest migrations to list")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: qsctl analyze [-top N] run.jsonl")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "qsctl: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	recs, err := obs.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "qsctl: %v\n", err)
+		return 1
+	}
+	obs.Analyze(recs).Print(stdout, *top)
+	return 0
 }
 
 // runFiller reproduces a short Figure-1-style window: anti-phased
 // antagonists and a migrating filler pool.
-func runFiller(sys *core.System, horizon sim.Time) error {
+func runFiller(sys *core.System, horizon sim.Time, _ io.Writer) error {
 	k := sys.K
 	period := 20 * time.Millisecond
 	for i, m := range sys.Cluster.Machines() {
@@ -139,7 +260,7 @@ func runFiller(sys *core.System, horizon sim.Time) error {
 
 // runPipeline runs a short preprocessing pipeline over a sharded
 // vector into a sharded queue.
-func runPipeline(sys *core.System, horizon sim.Time) error {
+func runPipeline(sys *core.System, horizon sim.Time, _ io.Writer) error {
 	vec, err := sharded.NewVector[workload.Image](sys, "images", sharded.Options{MaxShardBytes: 8 << 20, AutoAdapt: true})
 	if err != nil {
 		return err
@@ -181,7 +302,7 @@ func runPipeline(sys *core.System, horizon sim.Time) error {
 
 // runGPU exercises GPU proclets: trainers stepping on spot GPUs with a
 // rotating reclamation, evacuated by the fleet watcher.
-func runGPU(sys *core.System, horizon sim.Time) error {
+func runGPU(sys *core.System, horizon sim.Time, out io.Writer) error {
 	for _, m := range sys.Cluster.Machines() {
 		m.AddGPUs(cluster.GPUConfig{Count: 2, MemBytes: 16 << 30, LinkBandwidth: 16_000_000_000})
 	}
@@ -213,9 +334,9 @@ func runGPU(sys *core.System, horizon sim.Time) error {
 	sys.K.RunUntil(horizon)
 	fleet.Stop()
 	for _, gp := range trainers {
-		fmt.Printf("%s: %d steps, now on %v\n", gp.Name(), gp.Steps.Value(), gp.Device())
+		fmt.Fprintf(out, "%s: %d steps, now on %v\n", gp.Name(), gp.Steps.Value(), gp.Device())
 	}
-	fmt.Printf("fleet: %d evacuations (mean %.1f ms), %d stranded polls\n\n",
+	fmt.Fprintf(out, "fleet: %d evacuations (mean %.1f ms), %d stranded polls\n\n",
 		fleet.Evacuations.Value(), fleet.MigrationLatency.Mean()*1000, fleet.Stranded.Value())
 	return nil
 }
@@ -224,7 +345,7 @@ func runGPU(sys *core.System, horizon sim.Time) error {
 // through a primary crash, and dumps each replica set's status — the
 // view an operator would use to answer "is my data safe and who is
 // serving it?".
-func runReplicas(sys *core.System, horizon sim.Time) error {
+func runReplicas(sys *core.System, horizon sim.Time, out io.Writer) error {
 	in := fault.New(sys.K, sys.Cluster, sys.Trace)
 	sys.AttachInjector(in)
 	// Monitor and writers live on m0; primaries on m1..m3; m1 crashes
@@ -258,42 +379,55 @@ func runReplicas(sys *core.System, horizon sim.Time) error {
 	}
 	sys.K.RunUntil(horizon)
 
-	fmt.Println("-- replica sets --")
+	fmt.Fprintln(out, "-- replica sets --")
 	det := rm.Detector()
 	for _, st := range rm.Status() {
 		lease := "EXPIRED"
 		if st.LeaseValid {
 			lease = fmt.Sprintf("valid until %v", st.LeaseExpiry)
 		}
-		fmt.Printf("%-10s primary id=%-4d m%d  lease %-22s log seq %d\n",
+		fmt.Fprintf(out, "%-10s primary id=%-4d m%d  lease %-22s log seq %d\n",
 			st.Name, st.PrimaryID, st.PrimaryMachine, lease, st.Seq)
 		for _, b := range st.Backups {
-			fmt.Printf("           backup  id=%-4d m%d  applied %d (lag %d)\n",
+			fmt.Fprintf(out, "           backup  id=%-4d m%d  applied %d (lag %d)\n",
 				b.ID, b.Machine, b.Applied, b.Lag)
 		}
 	}
-	fmt.Printf("\n-- durability plane --\n")
-	fmt.Printf("heartbeats sent %d, missed %d; suspects %d, confirms %d, false suspects %d\n",
+	fmt.Fprintf(out, "\n-- durability plane --\n")
+	fmt.Fprintf(out, "heartbeats sent %d, missed %d; suspects %d, confirms %d, false suspects %d\n",
 		det.HeartbeatsSent.Value(), det.HeartbeatsMissed.Value(),
 		det.Suspects.Value(), det.Confirms.Value(), det.FalseSuspects.Value())
-	fmt.Printf("promotions %d, deposes %d, resyncs %d, backup drops %d; batches %d carrying %d records\n",
+	fmt.Fprintf(out, "promotions %d, deposes %d, resyncs %d, backup drops %d; batches %d carrying %d records\n",
 		rm.Promotions.Value(), rm.Deposes.Value(), rm.Resyncs.Value(), rm.BackupDrops.Value(),
 		rm.ReplBatches.Value(), rm.ReplRecords.Value())
 	if n := rm.PromoteLatency.Count(); n > 0 {
-		fmt.Printf("promote latency: mean %.3f ms, max %.3f ms over %d promotions\n",
+		fmt.Fprintf(out, "promote latency: mean %.3f ms, max %.3f ms over %d promotions\n",
 			rm.PromoteLatency.Mean()*1000, rm.PromoteLatency.Max()*1000, n)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return nil
 }
 
 // runChurn exercises split/merge on a sharded map under insert/delete
-// waves.
-func runChurn(sys *core.System, horizon sim.Time) error {
+// waves, with a bursty co-tenant on m0 that periodically claims most of
+// the machine's memory. Each burst drives m0 over the memory high
+// water, so the fast-path reactor evacuates shards — producing the
+// pressure → migration causal chains the trace exporters capture.
+func runChurn(sys *core.System, horizon sim.Time, _ io.Writer) error {
 	m, err := sharded.NewMap[int, []byte](sys, "kv", sharded.Options{MaxShardBytes: 1 << 20, AutoAdapt: true})
 	if err != nil {
 		return err
 	}
+	m0 := sys.Cluster.Machine(0)
+	sys.K.Every(sim.Time(10*time.Millisecond), 20*time.Millisecond, func() bool {
+		// Claim all but 2 MiB of whatever is free: pressure spikes well
+		// past the high water, and only evacuating shards relieves it.
+		tenant := m0.MemFree() - (2 << 20)
+		if tenant > 0 && m0.AllocMem(tenant) == nil {
+			sys.K.After(8*time.Millisecond, func() { m0.FreeMem(tenant) })
+		}
+		return true
+	})
 	sys.K.Spawn("churner", func(p *sim.Proc) {
 		for wave := 0; ; wave++ {
 			for i := 0; i < 512; i++ {

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestScenarioList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	for _, sc := range scenarios {
+		if !strings.Contains(out.String(), sc.name) {
+			t.Errorf("list output missing scenario %q:\n%s", sc.name, out.String())
+		}
+	}
+}
+
+func TestUnknownScenarioListsAndExits2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown scenario "nope"`) {
+		t.Errorf("stderr missing unknown-scenario message:\n%s", msg)
+	}
+	for _, sc := range scenarios {
+		if !strings.Contains(msg, sc.name) {
+			t.Errorf("stderr missing valid scenario %q:\n%s", sc.name, msg)
+		}
+	}
+}
+
+// TestChurnTraceCausality is the acceptance check: a churn run with
+// tracing enabled must contain at least one migration span that is a
+// descendant of a pressure span.
+func TestChurnTraceCausality(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "churn.jsonl")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "churn", "-horizon-ms", "60", "-trace-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[uint64]obs.Record{}
+	for _, r := range recs {
+		if r.Type == "span" {
+			byID[r.ID] = r
+		}
+	}
+	caused := 0
+	for _, r := range byID {
+		if r.Kind != obs.KindMigrate {
+			continue
+		}
+		for p := r.Parent; p != 0; {
+			pr, ok := byID[p]
+			if !ok {
+				break
+			}
+			if pr.Kind == obs.KindPressure {
+				caused++
+				break
+			}
+			p = pr.Parent
+		}
+	}
+	if caused == 0 {
+		t.Fatal("no migration span descends from a pressure span")
+	}
+}
+
+func TestAnalyzeReportsMethodPercentiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "churn", "-horizon-ms", "40", "-trace-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("scenario exit = %d (stderr: %s)", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"analyze", path}, &out, &errb); code != 0 {
+		t.Fatalf("analyze exit = %d (stderr: %s)", code, errb.String())
+	}
+	rep := out.String()
+	for _, want := range []string{"call latency by method", "p50", "p99", "slowest migrations", "per-machine utilization"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(rep, "rpc") {
+		t.Errorf("analyze output has no rpc method rows:\n%s", rep)
+	}
+}
+
+func TestChromeTraceExportIsValidJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "filler", "-horizon-ms", "30", "-trace-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("unexpected trace shape: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+}

@@ -1,0 +1,161 @@
+// Command tracecheck validates the shape of a Chrome trace-event JSON
+// file produced by the obs exporter (qsctl -trace-out run.json or the
+// bench harness -trace-dir). It is the CI gate that keeps exported
+// timelines loadable in Perfetto: valid JSON, the trace-event envelope,
+// well-formed events, and — with -require-causal — at least one
+// migration span that descends from a pressure/sched/repl span.
+//
+// Usage:
+//
+//	tracecheck [-require-causal] [-min-events N] run.json [more.json ...]
+//
+// Exits 0 when every file passes, 1 on any violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// event is the subset of a trace event tracecheck inspects.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Cat  string         `json:"cat"`
+	Args map[string]any `json:"args"`
+}
+
+type document struct {
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []event `json:"traceEvents"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	requireCausal := fs.Bool("require-causal", false,
+		"require at least one migrate span descending from a pressure/sched/repl span")
+	minEvents := fs.Int("min-events", 1, "minimum number of trace events per file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: tracecheck [-require-causal] [-min-events N] run.json ...")
+		return 2
+	}
+	ok := true
+	for _, path := range fs.Args() {
+		if err := checkFile(path, *requireCausal, *minEvents); err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		fmt.Fprintf(stdout, "tracecheck: %s ok\n", path)
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func checkFile(path string, requireCausal bool, minEvents int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		return fmt.Errorf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) < minEvents {
+		return fmt.Errorf("%d trace events, want >= %d", len(doc.TraceEvents), minEvents)
+	}
+
+	// spanArgs maps span ID -> (parent, cat) for the causal walk.
+	type spanInfo struct {
+		parent uint64
+		cat    string
+	}
+	spans := map[uint64]spanInfo{}
+	sawComplete := false
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			sawComplete = true
+			if ev.Name == "" || ev.Ts == nil || ev.Dur == nil || ev.Pid == nil {
+				return fmt.Errorf("event %d (ph=X) missing name/ts/dur/pid", i)
+			}
+			if *ev.Dur < 0 {
+				return fmt.Errorf("event %d (%s) has negative duration %v", i, ev.Name, *ev.Dur)
+			}
+			id, okID := asUint(ev.Args["span"])
+			if !okID || id == 0 {
+				return fmt.Errorf("event %d (%s) missing args.span", i, ev.Name)
+			}
+			parent, _ := asUint(ev.Args["parent"])
+			spans[id] = spanInfo{parent: parent, cat: ev.Cat}
+		case "M":
+			if ev.Name != "process_name" || ev.Pid == nil {
+				return fmt.Errorf("event %d (ph=M) malformed metadata", i)
+			}
+		case "C":
+			if ev.Name == "" || ev.Ts == nil || ev.Pid == nil || ev.Args["value"] == nil {
+				return fmt.Errorf("event %d (ph=C) missing name/ts/pid/value", i)
+			}
+		default:
+			return fmt.Errorf("event %d has unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if !sawComplete {
+		return fmt.Errorf("no complete (ph=X) span events")
+	}
+
+	if requireCausal {
+		causal := false
+		for _, s := range spans {
+			if s.cat != "migrate" {
+				continue
+			}
+			for p := s.parent; p != 0; {
+				ps, ok := spans[p]
+				if !ok {
+					break
+				}
+				if ps.cat == "pressure" || ps.cat == "sched" || ps.cat == "repl" {
+					causal = true
+					break
+				}
+				p = ps.parent
+			}
+			if causal {
+				break
+			}
+		}
+		if !causal {
+			return fmt.Errorf("no migrate span descends from a pressure/sched/repl span")
+		}
+	}
+	return nil
+}
+
+// asUint coerces a decoded JSON number to uint64.
+func asUint(v any) (uint64, bool) {
+	f, ok := v.(float64)
+	if !ok || f < 0 {
+		return 0, false
+	}
+	return uint64(f), true
+}

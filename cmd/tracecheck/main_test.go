@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodTrace = `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","pid":1,"args":{"name":"machine 0"}},
+{"name":"pressure:mem","cat":"pressure","ph":"X","ts":1,"dur":5,"pid":1,"tid":1,"args":{"span":1,"parent":0,"trace":1}},
+{"name":"migrate:shard-0","cat":"migrate","ph":"X","ts":2,"dur":3,"pid":1,"tid":1,"args":{"span":2,"parent":1,"trace":1}},
+{"name":"m0.cpu_util","ph":"C","ts":1,"pid":1,"args":{"value":0.5}}
+]}`
+
+func TestGoodTracePasses(t *testing.T) {
+	path := write(t, "good.json", goodTrace)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-require-causal", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("stdout = %q", out.String())
+	}
+}
+
+func TestInvalidJSONFails(t *testing.T) {
+	path := write(t, "bad.json", `{"traceEvents": [`)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "not valid JSON") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestMissingCausalChainFails(t *testing.T) {
+	// A migrate span with no pressure/sched/repl ancestor.
+	path := write(t, "nocausal.json", `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"migrate:x","cat":"migrate","ph":"X","ts":1,"dur":1,"pid":1,"tid":1,"args":{"span":1,"parent":0,"trace":1}}
+]}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("without -require-causal exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-require-causal", path}, &out, &errb); code != 1 {
+		t.Fatalf("with -require-causal exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no migrate span descends") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestMalformedEventFails(t *testing.T) {
+	path := write(t, "malformed.json", `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"x","cat":"rpc","ph":"X","ts":1,"pid":1,"args":{"span":1}}
+]}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "missing name/ts/dur/pid") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestMinEvents(t *testing.T) {
+	path := write(t, "tiny.json", goodTrace)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-min-events", "100", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "want >= 100") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

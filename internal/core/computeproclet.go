@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/proclet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -62,6 +63,41 @@ type ComputeProclet struct {
 	idle     sim.Cond // signaled when queue empty and nothing running
 
 	executed int64
+
+	// Queueing-delay telemetry (off by default; enabled when the system
+	// samples telemetry). qTimes mirrors queue index-for-index with each
+	// task's enqueue time; popFront folds the waits into waitSumNS, and
+	// sampleQueueDelayMS drains the accumulator per sampling interval.
+	delayTrack bool
+	qTimes     []sim.Time
+	waitSumNS  int64
+	waitN      int64
+}
+
+// enableDelayTracking starts queue-delay accounting, backfilling
+// already-enqueued tasks with the current time.
+func (cp *ComputeProclet) enableDelayTracking() {
+	if cp.delayTrack {
+		return
+	}
+	cp.delayTrack = true
+	now := cp.sys.K.Now()
+	cp.qTimes = make([]sim.Time, len(cp.queue))
+	for i := range cp.qTimes {
+		cp.qTimes[i] = now
+	}
+}
+
+// sampleQueueDelayMS returns the mean queueing delay (enqueue to
+// dequeue) of tasks popped since the previous sample, in milliseconds,
+// and resets the accumulator.
+func (cp *ComputeProclet) sampleQueueDelayMS() float64 {
+	if cp.waitN == 0 {
+		return 0
+	}
+	mean := float64(cp.waitSumNS) / float64(cp.waitN) / 1e6
+	cp.waitSumNS, cp.waitN = 0, 0
+	return mean
 }
 
 // NewComputeProcletOn creates a compute proclet with the given number
@@ -77,10 +113,27 @@ func NewComputeProcletOn(sys *System, name string, m cluster.MachineID, workers 
 	cp := &ComputeProclet{sys: sys, pr: pr, workers: workers}
 	pr.Data = cp
 	sys.Sched.register(pr, KindCompute)
+	sys.registerComputeTelemetry(cp)
 	for i := 0; i < workers; i++ {
 		pr.SpawnThread("worker", cp.workerLoop)
 	}
 	return cp, nil
+}
+
+// registerComputeTelemetry adds the proclet's queue gauges to the
+// telemetry registry (no-op when telemetry is disabled). machine -1:
+// compute proclets move, so their series live on the control plane
+// track.
+func (s *System) registerComputeTelemetry(cp *ComputeProclet) {
+	if s.Tel == nil {
+		return
+	}
+	cp.enableDelayTracking()
+	name := cp.pr.Name()
+	s.Tel.Register("proclet."+name+".qdelay_ms", -1, cp.sampleQueueDelayMS)
+	s.Tel.Register("proclet."+name+".qlen", -1, func() float64 {
+		return float64(cp.QueueLen())
+	})
 }
 
 // NewComputeProclet creates a compute proclet, letting the scheduler
@@ -126,13 +179,24 @@ func (cp *ComputeProclet) workerLoop(t *proclet.Thread) {
 func (cp *ComputeProclet) popFront() TaskFn {
 	fn := cp.queue[cp.qHead]
 	cp.queue[cp.qHead] = nil // release the closure for GC
+	if cp.delayTrack {
+		cp.waitSumNS += int64(cp.sys.K.Now().Sub(cp.qTimes[cp.qHead]))
+		cp.waitN++
+	}
 	cp.qHead++
 	if cp.qHead == len(cp.queue) {
 		cp.queue = cp.queue[:0]
+		if cp.delayTrack {
+			cp.qTimes = cp.qTimes[:0]
+		}
 		cp.qHead = 0
 	} else if cp.qHead >= 1024 && cp.qHead*2 >= len(cp.queue) {
 		n := copy(cp.queue, cp.queue[cp.qHead:])
 		cp.queue = cp.queue[:n]
+		if cp.delayTrack {
+			copy(cp.qTimes, cp.qTimes[cp.qHead:])
+			cp.qTimes = cp.qTimes[:n]
+		}
 		cp.qHead = 0
 	}
 	return fn
@@ -151,6 +215,9 @@ func (cp *ComputeProclet) Run(fn TaskFn) {
 		panic(fmt.Sprintf("core: Run on stopping compute proclet %s", cp.pr.Name()))
 	}
 	cp.queue = append(cp.queue, fn)
+	if cp.delayTrack {
+		cp.qTimes = append(cp.qTimes, cp.sys.K.Now())
+	}
 	cp.qCond.Signal()
 }
 
@@ -202,6 +269,9 @@ func (cp *ComputeProclet) stealHalf() []TaskFn {
 	stolen := make([]TaskFn, n)
 	copy(stolen, cp.queue[len(cp.queue)-n:])
 	cp.queue = cp.queue[:len(cp.queue)-n]
+	if cp.delayTrack {
+		cp.qTimes = cp.qTimes[:len(cp.queue)]
+	}
 	return stolen
 }
 
@@ -209,6 +279,7 @@ func (cp *ComputeProclet) stealHalf() []TaskFn {
 func (cp *ComputeProclet) drainAll() []TaskFn {
 	q := cp.queue[cp.qHead:]
 	cp.queue, cp.qHead = nil, 0
+	cp.qTimes = nil
 	return q
 }
 
@@ -339,8 +410,16 @@ func (pl *Pool) Grow(p *sim.Proc) (bool, error) {
 		return false, nil // no idle CPU anywhere: do not split
 	}
 	victim := pl.busiest()
+	var sp obs.SpanID
+	if pl.sys.Obs != nil {
+		sp = pl.sys.Obs.Start(obs.KindSplit, pl.name, int(victim.Location()), 0)
+	}
 	cp, err := pl.addMember()
 	if err != nil {
+		if pl.sys.Obs != nil {
+			pl.sys.Obs.SetErr(sp, err)
+			pl.sys.Obs.End(sp)
+		}
 		return false, err
 	}
 	for _, fn := range victim.stealHalf() {
@@ -349,6 +428,11 @@ func (pl *Pool) Grow(p *sim.Proc) (bool, error) {
 	pl.Splits++
 	pl.sys.Trace.Emitf(pl.sys.K.Now(), trace.KindSplit, pl.name,
 		int(victim.Location()), int(cp.Location()), "members=%d", len(pl.members))
+	if pl.sys.Obs != nil {
+		pl.sys.Obs.SetRoute(sp, int(victim.Location()), int(cp.Location()))
+		pl.sys.Obs.Num(sp, "members", float64(len(pl.members)))
+		pl.sys.Obs.End(sp)
+	}
 	return true, nil
 }
 
@@ -369,12 +453,19 @@ func (pl *Pool) Shrink(p *sim.Proc) (bool, error) {
 		pl.Run(fn)
 	}
 	loc := victim.Location()
+	var sp obs.SpanID
+	if pl.sys.Obs != nil {
+		sp = pl.sys.Obs.Start(obs.KindMerge, pl.name, int(loc), 0)
+		pl.sys.Obs.Num(sp, "members", float64(len(pl.members)))
+		pl.sys.Obs.Num(sp, "moved", float64(len(pending)))
+	}
 	pl.sys.K.Spawn("pool-retire", func(rp *sim.Proc) {
 		victim.shutdown(rp)
 	})
 	pl.Merges++
 	pl.sys.Trace.Emitf(pl.sys.K.Now(), trace.KindMerge, pl.name,
 		int(loc), -1, "members=%d moved=%d", len(pl.members), len(pending))
+	pl.sys.Obs.End(sp)
 	return true, nil
 }
 
@@ -400,6 +491,12 @@ func (pl *Pool) stealFor(cp *ComputeProclet) bool {
 		return false
 	}
 	cp.queue = append(cp.queue, stolen...)
+	if cp.delayTrack {
+		now := cp.sys.K.Now()
+		for range stolen {
+			cp.qTimes = append(cp.qTimes, now)
+		}
+	}
 	pl.Steals += int64(len(stolen))
 	return true
 }

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/proclet"
 	"repro/internal/replication"
 	"repro/internal/sim"
@@ -313,9 +314,16 @@ func (rs *replicaSet) await(p *sim.Proc, seq, epoch uint64) error {
 // shipAttempts, or fails to apply (out of memory), is dropped.
 func (rs *replicaSet) shipBatch(p *sim.Proc, batch []repRecord, epoch uint64) {
 	rs.rm.ReplBatches.Inc()
+	tr := rs.rm.sys.Obs
+	var sp obs.SpanID
+	if tr != nil {
+		sp = tr.Start(obs.KindRepl, "ship", int(rs.primary.pr.Location()), 0)
+		tr.Num(sp, "records", float64(len(batch)))
+	}
 	refs := append([]*backupRef(nil), rs.backups...)
 	for _, b := range refs {
 		if rs.epoch != epoch {
+			tr.End(sp)
 			return
 		}
 		if !rs.hasBackup(b) {
@@ -330,11 +338,15 @@ func (rs *replicaSet) shipBatch(p *sim.Proc, batch []repRecord, epoch uint64) {
 			continue
 		}
 		rt := rs.rm.sys.Runtime
+		if tr != nil {
+			tr.SetNext(sp) // each per-backup apply invoke is a child
+		}
 		_, err := rt.InvokeLimited(p, rs.primary.pr.Location(), rs.primary.pr.ID(),
 			b.mp.pr.ID(), methodMemReplApply,
 			proclet.Msg{Payload: &replApplyReq{recs: recs}, Bytes: payloadBytes(recs)},
 			shipAttempts)
 		if rs.epoch != epoch {
+			tr.End(sp)
 			return
 		}
 		if err != nil {
@@ -343,6 +355,7 @@ func (rs *replicaSet) shipBatch(p *sim.Proc, batch []repRecord, epoch uint64) {
 		}
 		b.applied += uint64(len(batch))
 	}
+	tr.End(sp)
 }
 
 // hasTargeted reports whether any record in the batch is
@@ -558,6 +571,11 @@ func (rm *ReplManager) failoverSet(p *sim.Proc, rs *replicaSet) {
 	pr := rs.primary.pr
 	old := pr.Location()
 
+	var sp obs.SpanID
+	if sys.Obs != nil {
+		sp = sys.Obs.Start(obs.KindRepl, "promote", int(old), 0)
+	}
+
 	switch pr.State() {
 	case proclet.StateOrphaned:
 		// Crash path: already detached.
@@ -568,13 +586,22 @@ func (rm *ReplManager) failoverSet(p *sim.Proc, rs *replicaSet) {
 			// no-split-brain invariant outranks failover progress.
 			sys.Trace.Emitf(start, trace.KindRepl, pr.Name(), int(old), -1,
 				"failover refused: lease valid until %v", rm.det.LeaseExpiry(old))
+			if sys.Obs != nil {
+				sys.Obs.Str(sp, "refused", "lease valid")
+				sys.Obs.End(sp)
+			}
 			return
 		}
 		if err := sys.Runtime.Depose(pr); err != nil {
+			if sys.Obs != nil {
+				sys.Obs.SetErr(sp, err)
+				sys.Obs.End(sp)
+			}
 			return
 		}
 		rm.Deposes.Inc()
 	default:
+		sys.Obs.End(sp)
 		return
 	}
 
@@ -589,6 +616,10 @@ func (rm *ReplManager) failoverSet(p *sim.Proc, rs *replicaSet) {
 	for {
 		b := rs.freshestLive()
 		if b == nil {
+			if sys.Obs != nil {
+				sys.Obs.Str(sp, "outcome", "fallback")
+				sys.Obs.End(sp)
+			}
 			rm.fallbackRecover(p, rs)
 			return
 		}
@@ -618,6 +649,11 @@ func (rm *ReplManager) failoverSet(p *sim.Proc, rs *replicaSet) {
 		sys.Sched.Recoveries.Inc()
 		sys.Trace.Emitf(sys.K.Now(), trace.KindRepl, pr.Name(), int(old), int(target),
 			"promoted backup gen=%d applied=%d heap=%d", b.gen, b.applied, heap)
+		if sys.Obs != nil {
+			sys.Obs.SetRoute(sp, int(old), int(target))
+			sys.Obs.Num(sp, "gen", float64(b.gen))
+			sys.Obs.End(sp)
+		}
 		rm.scheduleResync(rs)
 		return
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/proclet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -323,6 +324,7 @@ func (sc *Scheduler) reactCPU(p *sim.Proc, m *cluster.Machine) {
 	added := make(map[cluster.MachineID]float64)
 	var wg sim.WaitGroup
 	launched := 0
+	var sp obs.SpanID
 	for _, v := range victims {
 		if demand <= avail || demand <= avail*sc.cfg.CPUHighWater {
 			break
@@ -335,14 +337,25 @@ func (sc *Scheduler) reactCPU(p *sim.Proc, m *cluster.Machine) {
 		if target < 0 {
 			break
 		}
+		if sc.sys.Obs != nil && sp == 0 {
+			// The pressure episode: every evacuation it launches is a
+			// child span, so traces answer "why did this proclet move".
+			sp = sc.sys.Obs.Start(obs.KindPressure, "cpu", int(m.ID), 0)
+			sc.sys.Obs.Num(sp, "demand", demand)
+			sc.sys.Obs.Num(sp, "avail", avail)
+			if avail > 0 {
+				sc.sys.Obs.Num(sp, "pressure", demand/avail)
+			}
+		}
 		added[target] += d
 		demand -= d
 		id := v.pr.ID()
+		cause := sp
 		wg.Add(1)
 		launched++
 		sc.sys.K.Spawn("sched/evacuate", func(mp *sim.Proc) {
 			defer wg.Done()
-			if err := sc.sys.Runtime.Migrate(mp, id, target); err == nil {
+			if err := sc.sys.Runtime.MigrateCaused(mp, id, target, cause); err == nil {
 				sc.Evacuations.Inc()
 			}
 		})
@@ -352,6 +365,7 @@ func (sc *Scheduler) reactCPU(p *sim.Proc, m *cluster.Machine) {
 			int(m.ID), -1, "cpu evacuating %d proclets", launched)
 		wg.Wait(p)
 	}
+	sc.sys.Obs.End(sp)
 }
 
 // pickCPUTarget finds the machine (other than src) that can absorb d
@@ -382,18 +396,24 @@ func (sc *Scheduler) reactMem(p *sim.Proc, m *cluster.Machine) {
 	for i, j := 0, len(victims)-1; i < j; i, j = i+1, j-1 {
 		victims[i], victims[j] = victims[j], victims[i]
 	}
+	var sp obs.SpanID
 	for _, v := range victims {
 		if m.MemPressure() <= sc.cfg.MemHighWater {
-			return
+			break
 		}
 		target := sc.pickMemTarget(m.ID, v.pr.HeapBytes())
 		if target < 0 {
-			return
+			break
 		}
-		if err := sc.sys.Runtime.Migrate(p, v.pr.ID(), target); err == nil {
+		if sc.sys.Obs != nil && sp == 0 {
+			sp = sc.sys.Obs.Start(obs.KindPressure, "mem", int(m.ID), 0)
+			sc.sys.Obs.Num(sp, "pressure", m.MemPressure())
+		}
+		if err := sc.sys.Runtime.MigrateCaused(p, v.pr.ID(), target, sp); err == nil {
 			sc.MemEvictions.Inc()
 		}
 	}
+	sc.sys.Obs.End(sp)
 }
 
 // pickMemTarget finds the machine with the most free memory that can
@@ -422,18 +442,25 @@ func (sc *Scheduler) pickMemTarget(src cluster.MachineID, bytes int64) cluster.M
 // reactor ticks. It reports whether the space was freed.
 func (sc *Scheduler) FreeUpMemory(p *sim.Proc, mid cluster.MachineID, bytes int64) bool {
 	m := sc.sys.Cluster.Machine(mid)
+	var sp obs.SpanID
 	for _, v := range sc.movableOn(mid, KindMemory) {
 		if m.MemFree() >= bytes {
-			return true
+			break
 		}
 		target := sc.pickMemTarget(mid, v.pr.HeapBytes())
 		if target < 0 {
 			continue
 		}
-		if err := sc.sys.Runtime.Migrate(p, v.pr.ID(), target); err == nil {
+		if sc.sys.Obs != nil && sp == 0 {
+			sp = sc.sys.Obs.Start(obs.KindPressure, "mem-demand", int(mid), 0)
+			sc.sys.Obs.Num(sp, "need_bytes", float64(bytes))
+			sc.sys.Obs.Num(sp, "pressure", m.MemPressure())
+		}
+		if err := sc.sys.Runtime.MigrateCaused(p, v.pr.ID(), target, sp); err == nil {
 			sc.MemEvictions.Inc()
 		}
 	}
+	sc.sys.Obs.End(sp)
 	return m.MemFree() >= bytes
 }
 
@@ -481,12 +508,20 @@ func (sc *Scheduler) rebalance(p *sim.Proc) {
 			if lo.MemFree() < v.pr.HeapBytes() {
 				continue
 			}
-			if err := sc.sys.Runtime.Migrate(p, v.pr.ID(), lo.ID); err == nil {
+			var sp obs.SpanID
+			if sc.sys.Obs != nil {
+				sp = sc.sys.Obs.Start(obs.KindSched, "rebalance", int(hi.ID), 0)
+				sc.sys.Obs.SetRoute(sp, int(hi.ID), int(lo.ID))
+				sc.sys.Obs.Num(sp, "hiLoad", hiLoad)
+				sc.sys.Obs.Num(sp, "loLoad", loLoad)
+			}
+			if err := sc.sys.Runtime.MigrateCaused(p, v.pr.ID(), lo.ID, sp); err == nil {
 				sc.Rebalances.Inc()
 				sc.sys.Trace.Emitf(sc.sys.K.Now(), trace.KindRebalance, v.pr.Name(),
 					int(hi.ID), int(lo.ID), "load %.2f->%.2f", hiLoad, loLoad)
 				moved = true
 			}
+			sc.sys.Obs.End(sp)
 			break
 		}
 		if !moved {
@@ -540,8 +575,18 @@ func (sc *Scheduler) colocate(p *sim.Proc) {
 		moves = append(moves, move{id: id, target: target.ID})
 	}
 	for _, mv := range moves {
-		if err := sc.sys.Runtime.Migrate(p, mv.id, mv.target); err == nil {
+		var sp obs.SpanID
+		if sc.sys.Obs != nil {
+			from := -1
+			if pr := sc.sys.Runtime.Lookup(mv.id); pr != nil {
+				from = int(pr.Location())
+			}
+			sp = sc.sys.Obs.Start(obs.KindSched, "affinity", from, 0)
+			sc.sys.Obs.SetRoute(sp, from, int(mv.target))
+		}
+		if err := sc.sys.Runtime.MigrateCaused(p, mv.id, mv.target, sp); err == nil {
 			sc.AffinityMoves.Inc()
 		}
+		sc.sys.Obs.End(sp)
 	}
 }

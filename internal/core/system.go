@@ -15,9 +15,12 @@
 package core
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/proclet"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -110,6 +113,12 @@ type System struct {
 	Sched   *Scheduler
 	Trace   *trace.Log
 
+	// Obs records causal spans when EnableTracing has been called; Tel
+	// samples resource telemetry when EnableTelemetry has. Both are nil
+	// by default — every instrumentation site is nil-safe.
+	Obs *obs.Tracer
+	Tel *obs.Telemetry
+
 	cfg     Config
 	rebuild Rebuilder    // memory-proclet reconstruction hook (recovery.go)
 	repl    *ReplManager // durability plane, nil unless enabled (replication.go)
@@ -137,6 +146,66 @@ func NewSystem(cfg Config, machines []cluster.MachineConfig) *System {
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// EnableTracing attaches a causal span tracer to every layer (fabric
+// RPCs, proclet invocations and migrations, scheduler decisions,
+// replication). Span recording is synchronous bookkeeping — it
+// schedules no kernel events — so it never perturbs the simulated
+// schedule. Idempotent; call before Start.
+func (s *System) EnableTracing() *obs.Tracer {
+	if s.Obs == nil {
+		s.Obs = obs.NewTracer(s.K)
+		s.Cluster.Fabric.SetTracer(s.Obs)
+		s.Runtime.SetTracer(s.Obs)
+	}
+	return s.Obs
+}
+
+// EnableTelemetry starts sampling per-machine CPU/memory/net
+// utilization (and per-proclet queueing delay for compute proclets
+// created afterwards) every period. Unlike tracing, sampling schedules
+// one kernel event per tick, so runs that compare kernel event counts
+// must leave it off. Idempotent; call before Start.
+func (s *System) EnableTelemetry(period time.Duration) *obs.Telemetry {
+	if s.Tel != nil {
+		return s.Tel
+	}
+	s.Tel = obs.NewTelemetry(s.K, period)
+	for _, m := range s.Cluster.Machines() {
+		m := m
+		id := int(m.ID)
+		s.Tel.Register(fmt.Sprintf("m%d.cpu_util", id), id, m.Utilization)
+		s.Tel.Register(fmt.Sprintf("m%d.mem_frac", id), id, func() float64 {
+			if cap := m.MemCapacity(); cap > 0 {
+				return float64(m.MemUsed()) / float64(cap)
+			}
+			return 0
+		})
+		n := s.Cluster.Node(m.ID)
+		s.Tel.Register(fmt.Sprintf("m%d.net_tx_bytes", id), id, func() float64 {
+			return float64(n.TxBytes.Value())
+		})
+		s.Tel.Register(fmt.Sprintf("m%d.net_rx_bytes", id), id, func() float64 {
+			return float64(n.RxBytes.Value())
+		})
+	}
+	// Compute proclets created before telemetry was enabled, in ID
+	// order for deterministic series ordering.
+	ids := make([]proclet.ID, 0, len(s.Sched.info))
+	for id, pi := range s.Sched.info {
+		if pi.kind == KindCompute {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if cp, ok := s.Sched.info[id].pr.Data.(*ComputeProclet); ok {
+			s.registerComputeTelemetry(cp)
+		}
+	}
+	s.Tel.Start()
+	return s.Tel
+}
 
 // Close releases the kernel's pooled worker goroutines. Call it when
 // done simulating on this system; experiment sweeps and benchmark

@@ -95,6 +95,9 @@ func runFailoverOnce(cfg failoverCfg, rf int, inject bool) (failoverOutcome, err
 	sysCfg.Seed = seeded(17)
 	sys := core.NewSystem(sysCfg, cfg.machines)
 	defer sys.Close()
+	if rf >= 2 && inject {
+		maybeTrace(sys)
+	}
 	sys.Start()
 
 	in := fault.New(sys.K, sys.Cluster, sys.Trace)
@@ -209,6 +212,11 @@ func runFailoverOnce(cfg failoverCfg, rf int, inject bool) (failoverOutcome, err
 	out.replRecords = rm.ReplRecords.Value()
 	for _, e := range sys.Trace.Events() {
 		out.trace = append(out.trace, e.String())
+	}
+	if rf >= 2 && inject {
+		if err := maybeExportTrace("ext-failover", sys); err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

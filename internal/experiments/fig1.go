@@ -79,6 +79,9 @@ func fig1RunFull(cfg fig1Cfg, mode string, mutate func(*core.Config)) (fig1Stats
 	}
 	sys := core.NewSystem(sysCfg, machines)
 	defer sys.Close()
+	if mode == "quicksand" {
+		maybeTrace(sys)
+	}
 	k := sys.K
 
 	// Anti-phased antagonists: m0 busy in the first half-period, m1 in
@@ -201,6 +204,11 @@ func fig1RunFull(cfg fig1Cfg, mode string, mutate func(*core.Config)) (fig1Stats
 	st.events = k.EventsProcessed()
 	for _, e := range sys.Trace.Events() {
 		st.trace = append(st.trace, e.String())
+	}
+	if mode == "quicksand" {
+		if err := maybeExportTrace("fig1", sys); err != nil {
+			return st, err
+		}
 	}
 	return st, nil
 }

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Export formats. Both are byte-deterministic: spans are written in ID
+// order, samples in (probe, time) order, and attribute maps are
+// marshaled by encoding/json, which sorts keys.
+//
+//   - Chrome trace-event JSON (WriteChromeTrace): loads in Perfetto or
+//     chrome://tracing. One process (pid) per machine, one thread (tid)
+//     per causal tree, so spans of a tree nest visually by time;
+//     telemetry series become counter tracks.
+//   - JSONL (WriteJSONL): one Record per line, for qsctl analyze and
+//     offline tooling.
+
+// chromeSpanEvent is one complete ("X") trace event.
+type chromeSpanEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeMetaEvent names a process track ("M" metadata).
+type chromeMetaEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+// chromeCounterEvent is one counter sample ("C").
+type chromeCounterEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+// pidOf maps a machine ID to a Chrome process ID: machine m is pid
+// m+1; the control plane (machine -1) is pid 0.
+func pidOf(machine int) int {
+	if machine < 0 {
+		return 0
+	}
+	return machine + 1
+}
+
+// usOf converts a kernel timestamp to trace-event microseconds.
+func usOf(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// finite clamps non-finite values so encoding/json never rejects an
+// export (JSON has no Inf/NaN).
+func finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// WriteChromeTrace writes the run as Chrome trace-event JSON. tl may
+// be nil (no counter tracks).
+func WriteChromeTrace(w io.Writer, t *Tracer, tl *Telemetry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev any) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Process-name metadata: the control plane plus every machine that
+	// appears in a span or a telemetry probe.
+	pids := map[int]string{}
+	for i := range t.Spans() {
+		s := &t.Spans()[i]
+		pid := pidOf(s.Machine)
+		if _, ok := pids[pid]; !ok {
+			pids[pid] = trackName(s.Machine)
+		}
+	}
+	if tl != nil {
+		for i := range tl.probes {
+			pid := pidOf(tl.probes[i].machine)
+			if _, ok := pids[pid]; !ok {
+				pids[pid] = trackName(tl.probes[i].machine)
+			}
+		}
+	}
+	order := make([]int, 0, len(pids))
+	for pid := range pids {
+		order = append(order, pid)
+	}
+	sort.Ints(order)
+	for _, pid := range order {
+		ev := chromeMetaEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": pids[pid]}}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+
+	// Spans, in ID order.
+	spans := t.Spans()
+	for i := range spans {
+		s := &spans[i]
+		end := t.clampEnd(s)
+		args := map[string]any{
+			"span":   uint64(s.ID),
+			"parent": uint64(s.Parent),
+			"trace":  uint64(s.TraceID),
+		}
+		if s.From >= 0 || s.To >= 0 {
+			args["from"] = s.From
+			args["to"] = s.To
+		}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		if !s.Done {
+			args["open"] = true
+		}
+		for _, a := range s.Attrs {
+			if a.IsNum {
+				args[a.Key] = finite(a.Num)
+			} else {
+				args[a.Key] = a.Str
+			}
+		}
+		ev := chromeSpanEvent{
+			Name: s.Kind + ":" + s.Name,
+			Cat:  s.Kind,
+			Ph:   "X",
+			Ts:   usOf(s.Start),
+			Dur:  usOf(end - s.Start),
+			Pid:  pidOf(s.Machine),
+			Tid:  uint64(s.TraceID),
+			Args: args,
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+
+	// Telemetry counter tracks, one event per sample.
+	if tl != nil {
+		for i := range tl.probes {
+			p := &tl.probes[i]
+			for _, pt := range p.series.Points() {
+				ev := chromeCounterEvent{
+					Name: p.series.Name,
+					Ph:   "C",
+					Ts:   usOf(pt.At),
+					Pid:  pidOf(p.machine),
+					Args: map[string]any{"value": finite(pt.Value)},
+				}
+				if err := emit(ev); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// trackName renders a machine's Chrome process name.
+func trackName(machine int) string {
+	if machine < 0 {
+		return "control-plane"
+	}
+	return fmt.Sprintf("machine %d", machine)
+}
+
+// Record is one JSONL line: a span (Type "span") or a telemetry sample
+// (Type "sample"). One struct covers both so readers need a single
+// decode path.
+type Record struct {
+	Type string `json:"type"`
+
+	// Span fields.
+	Trace   uint64             `json:"trace,omitempty"`
+	ID      uint64             `json:"id,omitempty"`
+	Parent  uint64             `json:"parent,omitempty"`
+	Kind    string             `json:"kind,omitempty"`
+	Name    string             `json:"name,omitempty"`
+	Machine int                `json:"machine"`
+	From    int                `json:"from"`
+	To      int                `json:"to"`
+	Bytes   int64              `json:"bytes,omitempty"`
+	StartNS int64              `json:"start_ns"`
+	EndNS   int64              `json:"end_ns"`
+	Open    bool               `json:"open,omitempty"`
+	Err     string             `json:"err,omitempty"`
+	Attrs   map[string]string  `json:"attrs,omitempty"`
+	Nums    map[string]float64 `json:"nums,omitempty"`
+
+	// Sample fields.
+	Series string  `json:"series,omitempty"`
+	AtNS   int64   `json:"at_ns,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// WriteJSONL writes the run as compact JSONL: one span record per span
+// (ID order), then one sample record per telemetry sample (probe
+// order). tl may be nil.
+func WriteJSONL(w io.Writer, t *Tracer, tl *Telemetry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	spans := t.Spans()
+	for i := range spans {
+		s := &spans[i]
+		rec := Record{
+			Type:    "span",
+			Trace:   uint64(s.TraceID),
+			ID:      uint64(s.ID),
+			Parent:  uint64(s.Parent),
+			Kind:    s.Kind,
+			Name:    s.Name,
+			Machine: s.Machine,
+			From:    s.From,
+			To:      s.To,
+			Bytes:   s.Bytes,
+			StartNS: int64(s.Start),
+			EndNS:   int64(t.clampEnd(s)),
+			Open:    !s.Done,
+			Err:     s.Err,
+		}
+		for _, a := range s.Attrs {
+			if a.IsNum {
+				if rec.Nums == nil {
+					rec.Nums = map[string]float64{}
+				}
+				rec.Nums[a.Key] = finite(a.Num)
+			} else {
+				if rec.Attrs == nil {
+					rec.Attrs = map[string]string{}
+				}
+				rec.Attrs[a.Key] = a.Str
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	if tl != nil {
+		for i := range tl.probes {
+			p := &tl.probes[i]
+			for _, pt := range p.series.Points() {
+				rec := Record{
+					Type:    "sample",
+					Series:  p.series.Name,
+					Machine: p.machine,
+					From:    -1,
+					To:      -1,
+					AtNS:    int64(pt.At),
+					Value:   finite(pt.Value),
+				}
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("obs: bad JSONL record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,236 @@
+// Package obs is the observability layer over the deterministic
+// simulation: causal spans (who did what, for how long, and what
+// triggered it) and continuously sampled resource telemetry. The flat
+// event log in internal/trace records *that* a migration or split
+// happened; obs records *why* — a migration span is a child of the
+// pressure span that caused it — and exports the whole run as a
+// Perfetto-loadable timeline (export.go).
+//
+// Everything is nil-safe: a nil *Tracer accepts every call, allocates
+// nothing, and returns the zero SpanID, so instrumented hot paths pay
+// only a nil check when tracing is disabled. Span recording is
+// synchronous host-side bookkeeping — it schedules no kernel events —
+// so enabling the tracer never changes a run's kernel event count or
+// schedule. Telemetry sampling (telemetry.go) does add kernel events
+// and is therefore a separate, strictly opt-in switch.
+package obs
+
+import (
+	"repro/internal/sim"
+)
+
+// Span kinds. Name refines the kind: a KindPhase span named "freeze"
+// is the blackout phase of its parent migration span.
+const (
+	KindRPC      = "rpc"      // one fabric round trip (simnet)
+	KindInvoke   = "invoke"   // one proclet method invocation, retries included
+	KindMigrate  = "migrate"  // one proclet migration, phases as children
+	KindPhase    = "phase"    // a migration phase: freeze, precopy, postcopy
+	KindSplit    = "split"    // a pool split
+	KindMerge    = "merge"    // a pool merge
+	KindPressure = "pressure" // a reactor pressure episode (cpu, mem, mem-demand)
+	KindSched    = "sched"    // a slow-path decision: rebalance, affinity
+	KindRepl     = "repl"     // replication plane: ship, promote
+)
+
+// SpanID identifies a span within one Tracer; 0 is "no span" (the
+// parent of a root). IDs are assigned densely in creation order, which
+// makes them deterministic per seed.
+type SpanID uint64
+
+// Attr is one span attribute: a key with either a string or a numeric
+// value. A slice of Attrs (not a map) keeps attribute order — and
+// therefore every export — deterministic.
+type Attr struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Span is one timed, causally-linked operation. TraceID is the ID of
+// the root span of its causal tree (a root's TraceID is its own ID).
+// Machine is the machine the operation ran on (-1: control plane);
+// From/To are machine IDs for operations that move something (-1: not
+// applicable).
+type Span struct {
+	TraceID SpanID
+	ID      SpanID
+	Parent  SpanID
+	Kind    string
+	Name    string
+	Machine int
+	From    int
+	To      int
+	Bytes   int64
+	Start   sim.Time
+	End     sim.Time
+	Done    bool // End was recorded; open spans are clamped on export
+	Err     string
+	Attrs   []Attr
+}
+
+// Duration returns End-Start, or 0 for a span that was never ended.
+func (s *Span) Duration() sim.Time {
+	if !s.Done {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Tracer records spans against the kernel clock. All methods are valid
+// on a nil receiver (no-ops returning zero), so instrumentation sites
+// need no guards for correctness — only optionally for speed.
+//
+// The simulation kernel executes one event at a time, so the tracer
+// needs no locking even though spans are recorded from many simulated
+// processes.
+type Tracer struct {
+	k     *sim.Kernel
+	spans []Span
+
+	// next is a one-shot parent handed across an API boundary whose
+	// signature cannot carry a SpanID (Runtime.Invoke calling
+	// Fabric.CallWithTimeout). SetNext and the consuming TakeNext must
+	// run synchronously — no park in between — or the scope would leak
+	// to an unrelated caller.
+	next SpanID
+}
+
+// NewTracer creates a tracer on the given kernel.
+func NewTracer(k *sim.Kernel) *Tracer { return &Tracer{k: k} }
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Start opens a span and returns its ID (0 on a nil tracer). parent 0
+// makes it a root.
+func (t *Tracer) Start(kind, name string, machine int, parent SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := SpanID(len(t.spans) + 1)
+	trace := id
+	if parent != 0 {
+		trace = t.spans[parent-1].TraceID
+	}
+	t.spans = append(t.spans, Span{
+		TraceID: trace,
+		ID:      id,
+		Parent:  parent,
+		Kind:    kind,
+		Name:    name,
+		Machine: machine,
+		From:    -1,
+		To:      -1,
+		Start:   t.k.Now(),
+	})
+	return id
+}
+
+// End closes a span at the current kernel time.
+func (t *Tracer) End(id SpanID) {
+	if t == nil || id == 0 {
+		return
+	}
+	sp := &t.spans[id-1]
+	sp.End = t.k.Now()
+	sp.Done = true
+}
+
+// SetRoute records the source and destination machines of a move.
+func (t *Tracer) SetRoute(id SpanID, from, to int) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.spans[id-1].From, t.spans[id-1].To = from, to
+}
+
+// SetBytes records the payload size the span moved.
+func (t *Tracer) SetBytes(id SpanID, n int64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.spans[id-1].Bytes = n
+}
+
+// SetErr records the span's error (nil clears nothing and is a no-op).
+func (t *Tracer) SetErr(id SpanID, err error) {
+	if t == nil || id == 0 || err == nil {
+		return
+	}
+	t.spans[id-1].Err = err.Error()
+}
+
+// Num attaches a numeric attribute.
+func (t *Tracer) Num(id SpanID, key string, v float64) {
+	if t == nil || id == 0 {
+		return
+	}
+	sp := &t.spans[id-1]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Num: v, IsNum: true})
+}
+
+// Str attaches a string attribute.
+func (t *Tracer) Str(id SpanID, key, v string) {
+	if t == nil || id == 0 {
+		return
+	}
+	sp := &t.spans[id-1]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Str: v})
+}
+
+// SetNext arms a one-shot parent for the next TakeNext. See the field
+// comment for the synchronicity requirement.
+func (t *Tracer) SetNext(id SpanID) {
+	if t == nil {
+		return
+	}
+	t.next = id
+}
+
+// TakeNext consumes the one-shot parent (0 when none armed).
+func (t *Tracer) TakeNext() SpanID {
+	if t == nil {
+		return 0
+	}
+	id := t.next
+	t.next = 0
+	return id
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Spans returns all recorded spans in creation order (not a copy).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Span returns the span with the given ID, or nil.
+func (t *Tracer) Span(id SpanID) *Span {
+	if t == nil || id == 0 || int(id) > len(t.spans) {
+		return nil
+	}
+	return &t.spans[id-1]
+}
+
+// clampEnd returns the span's end for export: open spans are clamped
+// to the latest timestamp the tracer has seen (end of run).
+func (t *Tracer) clampEnd(s *Span) sim.Time {
+	if s.Done {
+		return s.End
+	}
+	if now := t.k.Now(); now > s.Start {
+		return now
+	}
+	return s.Start
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -57,6 +58,15 @@ func (rt *Runtime) MigrateLazy(p *sim.Proc, id ID, to cluster.MachineID) error {
 		return err
 	}
 
+	var sp, frz obs.SpanID
+	if rt.obs != nil {
+		sp = rt.obs.Start(obs.KindMigrate, pr.name, int(from), 0)
+		rt.obs.SetRoute(sp, int(from), int(to))
+		rt.obs.SetBytes(sp, pr.heapBytes)
+		rt.obs.Str(sp, "mode", "postcopy")
+		frz = rt.obs.Start(obs.KindPhase, "freeze", int(from), sp)
+	}
+
 	start := rt.k.Now()
 	pr.state = StateMigrating
 	for task := range pr.tasks {
@@ -88,6 +98,17 @@ func (rt *Runtime) MigrateLazy(p *sim.Proc, id ID, to cluster.MachineID) error {
 	rt.Trace.Emitf(rt.k.Now(), trace.KindMigrate, pr.name, int(from), int(to),
 		"post-copy blackout=%v bytes=%d", blackout, pr.heapBytes)
 
+	// The migrate span covers only the blackout; the postcopy phase
+	// span runs until residence (clamped open if the run ends first).
+	var pcp obs.SpanID
+	if rt.obs != nil {
+		rt.obs.End(frz)
+		rt.obs.End(sp)
+		pcp = rt.obs.Start(obs.KindPhase, "postcopy", int(to), sp)
+		rt.obs.SetRoute(pcp, int(from), int(to))
+		rt.obs.SetBytes(pcp, pr.heapBytes)
+	}
+
 	// Background copy: stream the heap, then settle the accounting.
 	heap := pr.heapBytes
 	srcEpoch := rt.Cluster.Machine(from).Epoch()
@@ -99,6 +120,8 @@ func (rt *Runtime) MigrateLazy(p *sim.Proc, id ID, to cluster.MachineID) error {
 		// or killed it, and recovery owns the accounting from there.
 		for err != nil {
 			if pr.state == StateDead || pr.state == StateOrphaned || !pr.lazyWindow {
+				rt.obs.SetErr(pcp, err)
+				rt.obs.End(pcp)
 				return
 			}
 			bp.Sleep(time.Millisecond)
@@ -108,6 +131,7 @@ func (rt *Runtime) MigrateLazy(p *sim.Proc, id ID, to cluster.MachineID) error {
 			src.FreeMem(heap)
 		}
 		if !pr.lazyWindow {
+			rt.obs.End(pcp)
 			return // crashed mid-copy; nothing left to settle
 		}
 		pr.lazyWindow = false
@@ -115,6 +139,7 @@ func (rt *Runtime) MigrateLazy(p *sim.Proc, id ID, to cluster.MachineID) error {
 		rt.LazyResidence.ObserveDuration(rt.k.Now().Sub(start))
 		rt.Trace.Emitf(rt.k.Now(), trace.KindMigrate, pr.name, int(from), int(to),
 			"post-copy resident after %v", rt.k.Now().Sub(start))
+		rt.obs.End(pcp)
 	})
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -111,7 +112,14 @@ type Runtime struct {
 	// own Ctx).
 	reqPool []*invokeReq
 	ctxPool []*Ctx
+
+	// obs, when set, records invocation and migration spans. Nil (the
+	// default) keeps the invoke fast path allocation-free.
+	obs *obs.Tracer
 }
+
+// SetTracer attaches a span tracer to the runtime. Pass nil to detach.
+func (rt *Runtime) SetTracer(t *obs.Tracer) { rt.obs = t }
 
 // invokeReq is the wire format of a remote invocation.
 type invokeReq struct {
@@ -270,10 +278,19 @@ func (rt *Runtime) locate(p *sim.Proc, m cluster.MachineID, target ID) (cluster.
 // accounting. The call blocks the calling process until the reply
 // arrives, chasing stale location caches as needed.
 func (rt *Runtime) Invoke(p *sim.Proc, fromMachine cluster.MachineID, from ID, target ID, method string, arg Msg) (Msg, error) {
+	var sp obs.SpanID
+	if rt.obs != nil {
+		sp = rt.obs.Start(obs.KindInvoke, method, int(fromMachine), rt.obs.TakeNext())
+		rt.obs.SetBytes(sp, arg.Bytes)
+	}
 	req := rt.getReq()
 	req.From, req.Target, req.Method, req.Arg = from, target, method, arg
-	res, err := rt.invoke(p, fromMachine, req, rt.cfg.MaxInvokeRetries)
+	res, err := rt.invoke(p, fromMachine, req, rt.cfg.MaxInvokeRetries, sp)
 	rt.putReq(req)
+	if rt.obs != nil {
+		rt.obs.SetErr(sp, err)
+		rt.obs.End(sp)
+	}
 	return res, err
 }
 
@@ -285,10 +302,19 @@ func (rt *Runtime) InvokeLimited(p *sim.Proc, fromMachine cluster.MachineID, fro
 	if maxAttempts <= 0 {
 		maxAttempts = 1
 	}
+	var sp obs.SpanID
+	if rt.obs != nil {
+		sp = rt.obs.Start(obs.KindInvoke, method, int(fromMachine), rt.obs.TakeNext())
+		rt.obs.SetBytes(sp, arg.Bytes)
+	}
 	req := rt.getReq()
 	req.From, req.Target, req.Method, req.Arg = from, target, method, arg
-	res, err := rt.invoke(p, fromMachine, req, maxAttempts)
+	res, err := rt.invoke(p, fromMachine, req, maxAttempts, sp)
 	rt.putReq(req)
+	if rt.obs != nil {
+		rt.obs.SetErr(sp, err)
+		rt.obs.End(sp)
+	}
 	return res, err
 }
 
@@ -354,7 +380,7 @@ func retryable(err error) bool {
 		errors.Is(err, ErrUnavailable)
 }
 
-func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invokeReq, maxAttempts int) (Msg, error) {
+func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invokeReq, maxAttempts int, sp obs.SpanID) (Msg, error) {
 	var lastErr error
 	retries := 0
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -387,6 +413,9 @@ func (rt *Runtime) invoke(p *sim.Proc, fromMachine cluster.MachineID, req *invok
 				continue
 			}
 			return res, err
+		}
+		if rt.obs != nil {
+			rt.obs.SetNext(sp) // consumed synchronously at CallWithTimeout entry
 		}
 		reply, err := rt.Cluster.Fabric.CallWithTimeout(p,
 			simnet.NodeID(fromMachine), simnet.NodeID(loc),
@@ -529,6 +558,14 @@ func (rt *Runtime) account(pr *Proclet, from ID, arg, res Msg) {
 // commit the move, and resume. Fails without side effects when the
 // destination cannot hold the heap.
 func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
+	return rt.MigrateCaused(p, id, to, 0)
+}
+
+// MigrateCaused is Migrate with an explicit causal parent span: the
+// pressure episode or scheduler decision that triggered the move. The
+// migration span becomes a child of that cause, so traces answer "why
+// did this proclet move". cause 0 records a root migration span.
+func (rt *Runtime) MigrateCaused(p *sim.Proc, id ID, to cluster.MachineID, cause obs.SpanID) error {
 	pr := rt.Lookup(id)
 	if pr == nil {
 		return ErrNotFound
@@ -555,6 +592,16 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 	}
 	dstEpoch := dst.Epoch()
 
+	var sp, frz obs.SpanID
+	if rt.obs != nil {
+		sp = rt.obs.Start(obs.KindMigrate, pr.name, int(from), cause)
+		rt.obs.SetRoute(sp, int(from), int(to))
+		rt.obs.SetBytes(sp, pr.heapBytes)
+		rt.obs.Str(sp, "mode", "precopy")
+		// Pre-copy blackout: drain, pin, and copy all happen frozen.
+		frz = rt.obs.Start(obs.KindPhase, "freeze", int(from), sp)
+	}
+
 	start := rt.k.Now()
 	pr.state = StateMigrating
 
@@ -574,8 +621,20 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 		time.Duration(float64(rt.cfg.MigrationPerMiB)*float64(pr.heapBytes)/(1<<20))
 	p.Sleep(pin)
 
+	var cp obs.SpanID
+	if rt.obs != nil {
+		rt.obs.End(frz)
+		cp = rt.obs.Start(obs.KindPhase, "precopy", int(from), sp)
+		rt.obs.SetRoute(cp, int(from), int(to))
+		rt.obs.SetBytes(cp, pr.heapBytes)
+	}
+
 	// Copy the heap.
 	err := rt.Cluster.Fabric.Transfer(p, simnet.NodeID(from), simnet.NodeID(to), pr.heapBytes)
+	if rt.obs != nil {
+		rt.obs.SetErr(cp, err)
+		rt.obs.End(cp)
+	}
 	if pr.state != StateMigrating {
 		// The source crashed mid-copy and CrashMachine orphaned the
 		// proclet underneath us: the half-copied destination image is
@@ -583,7 +642,12 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 		if dst.Epoch() == dstEpoch {
 			dst.FreeMem(pr.heapBytes)
 		}
-		return fmt.Errorf("%w: source machine %d failed during migration", ErrCrashed, from)
+		cerr := fmt.Errorf("%w: source machine %d failed during migration", ErrCrashed, from)
+		if rt.obs != nil {
+			rt.obs.SetErr(sp, cerr)
+			rt.obs.End(sp)
+		}
+		return cerr
 	}
 	if err == nil && dst.Down() {
 		// The copy "landed" on a machine that died before commit.
@@ -598,6 +662,10 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 		}
 		pr.state = StateRunning
 		pr.unblocked.Broadcast()
+		if rt.obs != nil {
+			rt.obs.SetErr(sp, err)
+			rt.obs.End(sp)
+		}
 		return err
 	}
 
@@ -618,5 +686,6 @@ func (rt *Runtime) Migrate(p *sim.Proc, id ID, to cluster.MachineID) error {
 	rt.Migrations.Inc()
 	rt.Trace.Emitf(rt.k.Now(), trace.KindMigrate, pr.name, int(from), int(to),
 		"bytes=%d latency=%v", pr.heapBytes, d)
+	rt.obs.End(sp)
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -161,7 +162,14 @@ type Fabric struct {
 	// callPool recycles per-Call state (see callState). The pool is a
 	// stack, so reuse order is deterministic.
 	callPool []*callState
+
+	// obs, when set, records one causal span per Call. Nil (the
+	// default) keeps the fast path allocation-free.
+	obs *obs.Tracer
 }
+
+// SetTracer attaches a span tracer to the fabric. Pass nil to detach.
+func (f *Fabric) SetTracer(t *obs.Tracer) { f.obs = t }
 
 // New creates a fabric on the given kernel.
 func New(k *sim.Kernel, cfg Config) *Fabric {
@@ -649,6 +657,16 @@ func (f *Fabric) CallWithTimeout(p *sim.Proc, from, to NodeID, method string, re
 		d = f.cfg.CallTimeout
 	}
 
+	// Span bookkeeping is synchronous host-side work: it must read the
+	// one-shot parent before the first park (the overhead sleep below)
+	// or an unrelated caller could consume it.
+	var sp obs.SpanID
+	if f.obs != nil {
+		sp = f.obs.Start(obs.KindRPC, method, int(from), f.obs.TakeNext())
+		f.obs.SetRoute(sp, int(from), int(to))
+		f.obs.SetBytes(sp, int64(req.Bytes))
+	}
+
 	// Fixed software overhead on the caller side.
 	p.Sleep(f.cfg.RPCOverhead)
 
@@ -679,6 +697,10 @@ func (f *Fabric) CallWithTimeout(p *sim.Proc, from, to NodeID, method string, re
 	}
 	reply, rerr := cs.reply, cs.err
 	f.putCall(cs)
+	if f.obs != nil {
+		f.obs.SetErr(sp, rerr)
+		f.obs.End(sp)
+	}
 	if rerr != nil {
 		return Message{}, rerr
 	}

@@ -110,8 +110,20 @@ func (l *Log) Filter(kind Kind) []Event {
 	return out
 }
 
-// Count returns how many events of the given kind were recorded.
-func (l *Log) Count(kind Kind) int { return len(l.Filter(kind)) }
+// Count returns how many events of the given kind were recorded,
+// without materializing the filtered slice.
+func (l *Log) Count(kind Kind) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for i := range l.events {
+		if l.events[i].Kind == kind {
+			n++
+		}
+	}
+	return n
+}
 
 // String renders the whole log, one event per line.
 func (l *Log) String() string {

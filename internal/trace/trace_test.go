@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestEmitAndFilter(t *testing.T) {
@@ -28,6 +30,24 @@ func TestNilLogSafe(t *testing.T) {
 	l.Emitf(0, KindMigrate, "x", 0, 1, "d")
 	if l.Len() != 0 || l.Events() != nil || l.Filter(KindSpawn) != nil || l.String() != "" {
 		t.Error("nil log must discard everything")
+	}
+	if l.Count(KindSpawn) != 0 {
+		t.Error("nil log Count must be 0")
+	}
+}
+
+func TestCountDoesNotAllocate(t *testing.T) {
+	l := New()
+	for i := 0; i < 1000; i++ {
+		l.Emitf(sim.Time(i), KindMigrate, "m", 0, 1, "")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if l.Count(KindMigrate) != 1000 {
+			t.Fatal("Count wrong")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Count allocated %.1f objects per call, want 0", allocs)
 	}
 }
 
