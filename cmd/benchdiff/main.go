@@ -18,13 +18,20 @@
 //     exact only for -par 1 runs, which is what CI records.
 //   - wall_ms: reported for context, never gated — wall clock depends
 //     on the host.
-//   - values: behavioural guarantees, gated only for keys present in
-//     BOTH records (old baselines without values skip these checks).
+//   - values: behavioural guarantees, gated for keys the baseline
+//     records (old baselines without values skip these checks).
 //     Keys prefixed "lost" are durability counters and must not exceed
 //     the baseline — with committed baselines of zero that means no
 //     acked object may ever be lost. Failover latency keys
 //     (failover_ms_mean/max) must stay within ±tol of the baseline.
-//     Other values are informational.
+//     Other values are informational; keys prefixed "wall_" are host
+//     time by convention and never gated. A gated key present in the
+//     baseline but missing from the candidate fails explicitly.
+//
+// Missing or malformed records fail with a message saying how to
+// regenerate them (a baseline with zero events is treated as
+// malformed), and a record whose embedded id doesn't match its
+// filename is rejected as stale.
 //
 // Exit status is 1 if any comparison fails, 2 on usage errors.
 package main
@@ -52,11 +59,23 @@ func readStats(dir, id string) (benchStats, error) {
 	var st benchStats
 	path := filepath.Join(dir, "BENCH_"+id+".json")
 	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, fmt.Errorf(
+			"%s does not exist — record it with `quicksand-bench -json -out %s %s`",
+			path, dir, id)
+	}
 	if err != nil {
 		return st, err
 	}
 	if err := json.Unmarshal(data, &st); err != nil {
 		return st, fmt.Errorf("%s: %w", path, err)
+	}
+	if st.ID != "" && st.ID != id {
+		return st, fmt.Errorf("%s records experiment %q, not %q — stale or misnamed file", path, st.ID, id)
+	}
+	if st.Events == 0 {
+		return st, fmt.Errorf(
+			"%s has no events_processed — malformed or truncated record; regenerate it with `quicksand-bench -json`", path)
 	}
 	return st, nil
 }
@@ -93,7 +112,18 @@ func compare(base, cand benchStats, tol float64) []string {
 	return fails
 }
 
-// compareValues gates behavioural values shared by both records.
+// gatedValue reports whether a values key carries a behavioural
+// guarantee that benchdiff enforces (vs informational context).
+func gatedValue(k string) bool {
+	return strings.HasPrefix(k, "lost") || k == "failover_ms_mean" || k == "failover_ms_max"
+}
+
+// compareValues gates behavioural values. Non-gated keys — including
+// everything prefixed "wall_", which is host time by convention — are
+// informational. A gated key the baseline has but the candidate lost is
+// a failure (the experiment's metric keys changed under the gate); keys
+// only the candidate has are new metrics and pass silently until the
+// baseline is regenerated.
 func compareValues(base, cand map[string]float64, tol float64) []string {
 	var fails []string
 	keys := make([]string, 0, len(base))
@@ -105,6 +135,10 @@ func compareValues(base, cand map[string]float64, tol float64) []string {
 		bv := base[k]
 		cv, ok := cand[k]
 		if !ok {
+			if gatedValue(k) {
+				fails = append(fails, fmt.Sprintf(
+					"%s gated by the baseline but missing from the candidate: metric keys changed; regenerate the baseline if intentional", k))
+			}
 			continue
 		}
 		switch {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestCompare(t *testing.T) {
 	base := benchStats{ID: "fig1", WallMS: 100, Events: 1000, Allocs: 500}
@@ -80,14 +85,17 @@ func TestCompareValues(t *testing.T) {
 			"lost_rf2": 0, "lost_rf1": 900,
 			"failover_ms_mean": 3.14, "failover_ms_max": 3.27}, 0},
 		{"failover latency within tol", map[string]float64{
-			"lost_rf2": 0, "failover_ms_mean": 3.3, "failover_ms_max": 3.4}, 0},
+			"lost_rf2": 0, "lost_rf1": 1372, "failover_ms_mean": 3.3, "failover_ms_max": 3.4}, 0},
 		{"failover latency regresses", map[string]float64{
-			"lost_rf2": 0, "failover_ms_mean": 9.9, "failover_ms_max": 3.27}, 1},
+			"lost_rf2": 0, "lost_rf1": 1372, "failover_ms_mean": 9.9, "failover_ms_max": 3.27}, 1},
 		{"failover latency too-good is still drift", map[string]float64{
-			"lost_rf2": 0, "failover_ms_mean": 0.1, "failover_ms_max": 3.27}, 1},
+			"lost_rf2": 0, "lost_rf1": 1372, "failover_ms_mean": 0.1, "failover_ms_max": 3.27}, 1},
 		{"informational values never gate", map[string]float64{
-			"lost_rf2": 0, "ops_rf2": 1}, 0},
-		{"old candidate without values", nil, 0},
+			"lost_rf2": 0, "lost_rf1": 1372,
+			"failover_ms_mean": 3.14, "failover_ms_max": 3.27, "ops_rf2": 1}, 0},
+		{"gated key vanished from candidate", map[string]float64{
+			"lost_rf2": 0, "lost_rf1": 1372, "failover_ms_mean": 3.14}, 1},
+		{"candidate without values loses every gated key", nil, 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -102,5 +110,48 @@ func TestCompareValues(t *testing.T) {
 	if fails := compare(benchStats{Events: 1000, Allocs: 500},
 		benchStats{Events: 1000, Allocs: 500, Values: map[string]float64{"lost_rf2": 5}}, 0.10); len(fails) != 0 {
 		t.Fatalf("baseline without values gated candidate: %v", fails)
+	}
+}
+
+func TestReadStatsFailures(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Missing baseline: the error must say how to record one.
+	_, err := readStats(dir, "ext-scale")
+	if err == nil || !strings.Contains(err.Error(), "quicksand-bench -json") {
+		t.Errorf("missing record error = %v, want a hint to run quicksand-bench -json", err)
+	}
+
+	// Malformed JSON still reports the path.
+	write("BENCH_broken.json", "{not json")
+	if _, err := readStats(dir, "broken"); err == nil || !strings.Contains(err.Error(), "BENCH_broken.json") {
+		t.Errorf("malformed record error = %v, want the file path", err)
+	}
+
+	// A record with zero events is malformed (every real run has events).
+	write("BENCH_empty.json", `{"id":"empty","wall_ms":1,"events_processed":0,"allocs":0}`)
+	if _, err := readStats(dir, "empty"); err == nil || !strings.Contains(err.Error(), "events_processed") {
+		t.Errorf("zero-events record error = %v, want an events_processed complaint", err)
+	}
+
+	// Embedded id must match the requested experiment.
+	write("BENCH_fig1.json", `{"id":"fig2","events_processed":10,"allocs":1}`)
+	if _, err := readStats(dir, "fig1"); err == nil || !strings.Contains(err.Error(), `"fig2"`) {
+		t.Errorf("mismatched id error = %v, want the stale id named", err)
+	}
+
+	// A good record round-trips.
+	write("BENCH_ok.json", `{"id":"ok","wall_ms":2,"events_processed":10,"allocs":1,"values":{"ops":5}}`)
+	st, err := readStats(dir, "ok")
+	if err != nil {
+		t.Fatalf("valid record: %v", err)
+	}
+	if st.Events != 10 || st.Values["ops"] != 5 {
+		t.Errorf("valid record parsed as %+v", st)
 	}
 }

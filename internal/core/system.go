@@ -119,15 +119,27 @@ type System struct {
 	Obs *obs.Tracer
 	Tel *obs.Telemetry
 
-	cfg     Config
-	rebuild Rebuilder    // memory-proclet reconstruction hook (recovery.go)
-	repl    *ReplManager // durability plane, nil unless enabled (replication.go)
+	cfg       Config
+	ownKernel bool         // Close tears the kernel down only if we made it
+	rebuild   Rebuilder    // memory-proclet reconstruction hook (recovery.go)
+	repl      *ReplManager // durability plane, nil unless enabled (replication.go)
 }
 
 // NewSystem builds a Quicksand system over machines with the given
-// shapes. The scheduler is created but idle until Start.
+// shapes, on a fresh kernel seeded from cfg.Seed. The scheduler is
+// created but idle until Start.
 func NewSystem(cfg Config, machines []cluster.MachineConfig) *System {
-	k := sim.NewKernel(cfg.Seed)
+	s := NewSystemOnKernel(sim.NewKernel(cfg.Seed), cfg, machines)
+	s.ownKernel = true
+	return s
+}
+
+// NewSystemOnKernel builds a Quicksand system on a caller-supplied
+// kernel. This is how partitioned fleets are assembled: one System per
+// shard, each on its own sim.ParKernel shard kernel, stitched together
+// with a simnet.Partition. The caller owns the kernel's lifecycle —
+// Close on a system built this way is a no-op.
+func NewSystemOnKernel(k *sim.Kernel, cfg Config, machines []cluster.MachineConfig) *System {
 	cl := cluster.New(k, cfg.Net)
 	for _, mc := range machines {
 		cl.AddMachine(mc)
@@ -210,8 +222,14 @@ func (s *System) EnableTelemetry(period time.Duration) *obs.Telemetry {
 // Close releases the kernel's pooled worker goroutines. Call it when
 // done simulating on this system; experiment sweeps and benchmark
 // loops that build many systems would otherwise accumulate parked
-// goroutines for the life of the host process.
-func (s *System) Close() { s.K.Close() }
+// goroutines for the life of the host process. No-op for systems built
+// on a caller-owned kernel (NewSystemOnKernel) — close that kernel (or
+// its ParKernel) instead.
+func (s *System) Close() {
+	if s.ownKernel {
+		s.K.Close()
+	}
+}
 
 // Start launches the scheduler's control loops. Call once, before or
 // during the simulation run.

@@ -23,6 +23,7 @@
 //	ext-tiering    extension — cold shards spill to a flash tier
 //	ext-chaos      extension — goodput under injected crashes/partitions
 //	ext-failover   extension — replicated proclets, leases, failover
+//	ext-scale      extension — 1,000-machine partitioned fleet (ParKernel)
 package experiments
 
 import (
@@ -177,6 +178,7 @@ var registry = map[string]struct {
 	"ext-tiering":     {"extension: flash as slow cheap memory for sharded data", runExtTiering},
 	"ext-chaos":       {"extension: goodput dip and recovery under injected crashes and partitions", runExtChaos},
 	"ext-failover":    {"extension: replicated memory proclets fail over a crash without data loss", runExtFailover},
+	"ext-scale":       {"extension: 1,000-machine partitioned fleet, deterministic at any worker count", runExtScale},
 }
 
 // List returns registered experiment IDs, sorted.

@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
 
 func TestListAndTitles(t *testing.T) {
 	ids := List()
-	if len(ids) != 17 {
-		t.Fatalf("List() = %v, want 17 experiments", ids)
+	if len(ids) != 18 {
+		t.Fatalf("List() = %v, want 18 experiments", ids)
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -474,5 +475,76 @@ func TestExtFailoverShape(t *testing.T) {
 	}
 	if len(res.Series["goodput_rf2"]) == 0 || len(res.Series["goodput_rf1"]) == 0 {
 		t.Error("missing goodput series")
+	}
+}
+
+func TestExtScaleShape(t *testing.T) {
+	res, err := Run("ext-scale", TestScale)
+	if err != nil {
+		t.Fatal(err) // includes the in-run P={1,4,8} determinism assertion
+	}
+	if res.Values["machines"] != 24 || res.Values["shards"] != 8 {
+		t.Errorf("fleet = %v machines / %v shards, want 24/8 at test scale",
+			res.Values["machines"], res.Values["shards"])
+	}
+	if res.Values["ops"] <= 0 || res.Values["cross_ops"] <= 0 {
+		t.Errorf("ops = %v, cross_ops = %v: workload did not run",
+			res.Values["ops"], res.Values["cross_ops"])
+	}
+	if res.Values["lost"] != 0 {
+		t.Errorf("lost = %v acked objects, want 0 (rebuild across the crash)", res.Values["lost"])
+	}
+	if res.Values["crashes"] != 1 || res.Values["recoveries"] < 1 {
+		t.Errorf("crashes = %v, recoveries = %v, want 1 crash and >= 1 re-placement",
+			res.Values["crashes"], res.Values["recoveries"])
+	}
+	if res.Values["windows"] <= 0 {
+		t.Error("no synchronization windows: the run never went parallel-capable")
+	}
+	if res.Values["cross_msgs"] <= 0 {
+		t.Error("no cross-shard RPCs completed")
+	}
+	if res.Values["wall_ms_p1"] <= 0 || res.Values["wall_ms_p8"] <= 0 {
+		t.Error("missing wall_ms_* values")
+	}
+	if len(res.Trace) == 0 || res.EventsProcessed == 0 {
+		t.Error("missing merged trace or event count")
+	}
+}
+
+// Two runs at the same seed must agree on every deterministic value and
+// every line, at several base seeds — the host-time wall_* keys are the
+// only permitted difference.
+func TestExtScaleDeterminism(t *testing.T) {
+	defer SetBaseSeed(0)
+	for _, seed := range []int64{0, 3} {
+		SetBaseSeed(seed)
+		r1, err := Run("ext-scale", TestScale)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := Run("ext-scale", TestScale)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r1.EventsProcessed != r2.EventsProcessed {
+			t.Errorf("seed %d: events %d vs %d across runs", seed, r1.EventsProcessed, r2.EventsProcessed)
+		}
+		for k, v := range r1.Values {
+			if strings.HasPrefix(k, "wall_") {
+				continue
+			}
+			if r2.Values[k] != v {
+				t.Errorf("seed %d: %s = %v vs %v across runs", seed, k, v, r2.Values[k])
+			}
+		}
+		for i := range r1.Lines {
+			if r1.Lines[i] != r2.Lines[i] {
+				t.Errorf("seed %d: line %d differs:\n%s\n%s", seed, i, r1.Lines[i], r2.Lines[i])
+			}
+		}
+		if len(r1.Trace) == 0 || !reflect.DeepEqual(r1.Trace, r2.Trace) {
+			t.Errorf("seed %d: merged traces differ across runs", seed)
+		}
 	}
 }

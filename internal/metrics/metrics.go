@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -269,7 +270,9 @@ func (h *Histogram) ensureSorted() {
 	}
 }
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. It is single-threaded
+// like every other container here: use SharedCounter for counts that
+// multiple partitioned-simulation shards bump concurrently.
 type Counter struct {
 	Name string
 	n    int64
@@ -288,3 +291,30 @@ func (c *Counter) Addn(n int64) {
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n }
+
+// SharedCounter is a monotonically increasing count safe for concurrent
+// increments from multiple host goroutines. The partitioned simulation
+// kernel (sim.ParKernel) executes shards on parallel workers, so
+// counters that aggregate across shards — cross-shard calls, bytes over
+// partition boundaries — must be atomic; shard-local counters should
+// stay plain Counters. Atomic increments commute, so totals are
+// deterministic at any worker count even though increment interleaving
+// is not.
+type SharedCounter struct {
+	Name string
+	n    atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *SharedCounter) Inc() { c.n.Add(1) }
+
+// Addn adds n (which must be non-negative) to the counter.
+func (c *SharedCounter) Addn(n int64) {
+	if n < 0 {
+		panic("metrics: counter decrement")
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count.
+func (c *SharedCounter) Value() int64 { return c.n.Load() }

@@ -110,3 +110,22 @@ func (tl *Telemetry) Series() []*metrics.TimeSeries {
 
 // machineOf returns the machine associated with probe i.
 func (tl *Telemetry) machineOf(i int) int { return tl.probes[i].machine }
+
+// MergeSeries combines the series of several telemetry registries into
+// one deterministic view, in argument order then registration order.
+//
+// This is the shard-safe telemetry design for partitioned simulations
+// (sim.ParKernel): each shard owns a private registry on its own shard
+// kernel — sampling stays single-threaded and lock-free, exactly as on
+// the sequential kernel — and cross-shard aggregation happens once,
+// host-side, after the shards have synchronized at a barrier. The
+// merged ordering depends only on argument order, never on the worker
+// count. Nil registries are skipped, so partitioned systems with
+// telemetry enabled on a subset of shards need no guards.
+func MergeSeries(registries ...*Telemetry) []*metrics.TimeSeries {
+	var out []*metrics.TimeSeries
+	for _, tl := range registries {
+		out = append(out, tl.Series()...)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Per-shard telemetry registries sampled on independent shard kernels
+// must merge into one deterministic view whose order depends only on
+// argument order and registration order.
+func TestMergeSeries(t *testing.T) {
+	const shards = 3
+	pk := sim.NewParKernel(5, shards, 2*sim.Microsecond)
+	defer pk.Close()
+
+	regs := make([]*Telemetry, shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		k := pk.Shard(s)
+		regs[s] = NewTelemetry(k, 10*time.Microsecond)
+		for g := 0; g < 2; g++ {
+			val := float64(s*10 + g)
+			regs[s].Register(fmt.Sprintf("shard%d.g%d", s, g), s, func() float64 { return val })
+		}
+		regs[s].Start()
+		// Cross-shard chatter so windows are real.
+		if s > 0 {
+			k.Every(sim.Microsecond, 7*time.Microsecond, func() bool {
+				pk.Send(s, 0, k.Now()+pk.Lookahead(), func() {})
+				return true
+			})
+		}
+	}
+	pk.RunUntil(100 * sim.Microsecond)
+
+	merged := MergeSeries(regs...)
+	if len(merged) != shards*2 {
+		t.Fatalf("merged %d series, want %d", len(merged), shards*2)
+	}
+	for i, s := range merged {
+		wantName := fmt.Sprintf("shard%d.g%d", i/2, i%2)
+		if s.Name != wantName {
+			t.Fatalf("series %d is %q, want %q (merge order must be argument then registration order)", i, s.Name, wantName)
+		}
+		if s.Len() != 10 {
+			t.Errorf("series %q has %d samples, want 10", s.Name, s.Len())
+		}
+	}
+
+	// Nil registries are skipped without guards.
+	if got := MergeSeries(nil, regs[0], nil); len(got) != 2 {
+		t.Fatalf("MergeSeries with nils returned %d series, want 2", len(got))
+	}
+}

@@ -296,6 +296,29 @@ func (k *Kernel) After(d time.Duration, fn func()) {
 	k.Schedule(k.now.Add(d), fn)
 }
 
+// inject schedules fn at absolute time at from a ParKernel window
+// barrier. Unlike Schedule it refuses to clamp past timestamps: a
+// cross-shard delivery in the destination's past would be a causality
+// violation — the lookahead contract (Send) exists precisely to make
+// this impossible, so tripping here means a model charged less than the
+// minimum propagation latency.
+func (k *Kernel) inject(at Time, fn func()) {
+	if at <= k.now {
+		panic(fmt.Sprintf("sim: cross-shard delivery at %v is not after shard time %v (causality violation)", at, k.now))
+	}
+	k.seq++
+	k.heapPush(event{at: at, seq: k.seq, fn: fn, kind: evFn})
+}
+
+// advanceTo moves the clock forward to t without executing anything
+// (no-op if the clock is already at or past t). Used by ParKernel to
+// leave all shards at a common instant after a bounded run.
+func (k *Kernel) advanceTo(t Time) {
+	if k.now < t {
+		k.now = t
+	}
+}
+
 // Every runs fn at t0 and then every period until it returns false or
 // the simulation ends.
 func (k *Kernel) Every(t0 Time, period time.Duration, fn func() bool) {

@@ -125,6 +125,48 @@ func (l *Log) Count(kind Kind) int {
 	return n
 }
 
+// Merge combines several logs into one, ordered by timestamp with ties
+// broken by argument position (then by within-log emission order, which
+// is preserved). This is the deterministic barrier merge for
+// partitioned simulations: each shard keeps its own single-threaded Log
+// as a per-shard accumulator — Emit and Count stay lock- and
+// allocation-free — and the merged view depends only on shard contents
+// and argument order, never on the host worker count. Nil logs are
+// skipped; the inputs are not modified.
+func Merge(logs ...*Log) *Log {
+	total := 0
+	for _, l := range logs {
+		total += l.Len()
+	}
+	type cursor struct {
+		events []Event
+		pos    int
+	}
+	curs := make([]cursor, 0, len(logs))
+	for _, l := range logs {
+		if l.Len() > 0 {
+			curs = append(curs, cursor{events: l.Events()})
+		}
+	}
+	out := &Log{events: make([]Event, 0, total)}
+	for {
+		best := -1
+		for i := range curs {
+			if curs[i].pos >= len(curs[i].events) {
+				continue
+			}
+			if best < 0 || curs[i].events[curs[i].pos].At < curs[best].events[curs[best].pos].At {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out.events = append(out.events, curs[best].events[curs[best].pos])
+		curs[best].pos++
+	}
+}
+
 // String renders the whole log, one event per line.
 func (l *Log) String() string {
 	if l == nil {

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -73,5 +75,69 @@ func TestLogString(t *testing.T) {
 	out := l.String()
 	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
 		t.Errorf("log dump = %q, want 2 lines", out)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(shard int, times ...int64) *Log {
+		l := New()
+		for i, at := range times {
+			l.Emit(Event{At: sim.Time(at), Kind: KindPlace,
+				Subject: fmt.Sprintf("s%d-e%d", shard, i), From: -1, To: -1})
+		}
+		return l
+	}
+	a := mk(0, 5, 10, 10, 30)
+	b := mk(1, 1, 10, 20)
+	c := mk(2, 10)
+
+	m := Merge(a, b, c)
+	if m.Len() != 8 {
+		t.Fatalf("merged %d events, want 8", m.Len())
+	}
+	var got []string
+	for _, e := range m.Events() {
+		got = append(got, fmt.Sprintf("%d/%s", int64(e.At), e.Subject))
+	}
+	// Ordered by time; ties broken by argument position, preserving
+	// within-log emission order.
+	want := []string{"1/s1-e0", "5/s0-e0", "10/s0-e1", "10/s0-e2", "10/s1-e1", "10/s2-e0", "20/s1-e2", "30/s0-e3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order\n got %v\nwant %v", got, want)
+	}
+
+	// Deterministic: merging again yields the identical sequence, and
+	// the inputs are untouched.
+	m2 := Merge(a, b, c)
+	if !reflect.DeepEqual(m.Events(), m2.Events()) {
+		t.Fatal("two merges of the same logs differ")
+	}
+	if a.Len() != 4 || b.Len() != 3 || c.Len() != 1 {
+		t.Fatal("Merge modified its inputs")
+	}
+
+	// Nil and empty logs are fine.
+	if Merge(nil, New(), nil).Len() != 0 {
+		t.Fatal("merge of nil/empty logs not empty")
+	}
+}
+
+// Count is on experiment hot paths (per-op assertions); the shard-safe
+// merge design must keep it allocation-free.
+func TestCountAllocationFree(t *testing.T) {
+	l := New()
+	for i := 0; i < 1000; i++ {
+		k := KindPlace
+		if i%3 == 0 {
+			k = KindMigrate
+		}
+		l.Emit(Event{At: sim.Time(i), Kind: k, From: -1, To: -1})
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if l.Count(KindMigrate) == 0 {
+			t.Fatal("no migrate events")
+		}
+	}); avg != 0 {
+		t.Fatalf("Count allocates %.1f per run, want 0", avg)
 	}
 }
