@@ -8,6 +8,7 @@ package quicksand
 // regressions in *behaviour*, not just wall time, are visible.
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -15,6 +16,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gpu"
+	"repro/internal/load"
+	"repro/internal/metrics"
 	"repro/internal/proclet"
 	"repro/internal/sharded"
 	"repro/internal/sim"
@@ -399,6 +402,88 @@ func BenchmarkExtHarvest(b *testing.B) {
 		pct = res.Values["quicksand.goodput_pct"]
 	}
 	b.ReportMetric(pct, "goodput_%ideal")
+}
+
+// BenchmarkExtServe regenerates the million-client open-loop serving
+// scenario (aggregate arrival processes over a partitioned fleet).
+func BenchmarkExtServe(b *testing.B) {
+	b.ReportAllocs()
+	var p999 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("ext-serve", experiments.TestScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p999 = res.Values["p999_ms"]
+	}
+	b.ReportMetric(p999, "p999_ms")
+}
+
+// ---- Load-plane micro-benchmarks ----
+
+// BenchmarkZipfSample measures the O(1) Zipfian key sampler over a
+// 10M-key space. The sample path must be allocation-free: skewed key
+// popularity costs a handful of float ops per request regardless of
+// keyspace size.
+func BenchmarkZipfSample(b *testing.B) {
+	b.ReportAllocs()
+	z := load.NewZipf(10_000_000, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = load.ScrambleKey(z.Sample(rng))
+	}); allocs != 0 {
+		b.Fatalf("zipf sample path allocates: %v allocs/op", allocs)
+	}
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += load.ScrambleKey(z.Sample(rng))
+	}
+	_ = sink
+}
+
+// BenchmarkArrivalBatch measures drawing one 250us window of
+// nonhomogeneous-Poisson arrivals at ~400k req/s from a diurnal curve —
+// the injector's per-window generation step. Steady-state draws must be
+// allocation-free: generation cost is O(requests), never O(clients).
+func BenchmarkArrivalBatch(b *testing.B) {
+	b.ReportAllocs()
+	horizon := sim.Time(time.Hour)
+	curve := load.Sampled(horizon, 250*time.Millisecond, load.Diurnal(400_000, 0.5, 10*time.Second))
+	a := load.NewArrivals(curve, rand.New(rand.NewSource(1)))
+	window := sim.Time(250 * time.Microsecond)
+	from := sim.Time(0)
+	for i := 0; i < 64; i++ { // warm the reusable buffer
+		a.Draw(from, from+window)
+		from += window
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		a.Draw(from, from+window)
+		from += window
+	}); allocs != 0 {
+		b.Fatalf("arrival batch allocates at steady state: %v allocs/op", allocs)
+	}
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n += len(a.Draw(from, from+window))
+		from += window
+		if from >= horizon {
+			from = 0
+		}
+	}
+	b.ReportMetric(float64(n)/float64(b.N), "arrivals/window")
+}
+
+// BenchmarkLogHistogramRecord measures the fixed-bucket latency
+// histogram's record path (one index computation, no allocation).
+func BenchmarkLogHistogramRecord(b *testing.B) {
+	b.ReportAllocs()
+	h := metrics.NewLogHistogram("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)*7919 + 1000)
+	}
 }
 
 // BenchmarkGPUStep measures one training step (batch upload + kernel)

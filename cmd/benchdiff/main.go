@@ -24,6 +24,9 @@
 //     the baseline — with committed baselines of zero that means no
 //     acked object may ever be lost. Failover latency keys
 //     (failover_ms_mean/max) must stay within ±tol of the baseline.
+//     Serving-tail keys — goodput_rps and every p999_ms* quantile —
+//     are gated the same way: the simulation is deterministic, so a
+//     drift beyond tolerance means the serving behaviour changed.
 //     Other values are informational; keys prefixed "wall_" are host
 //     time by convention and never gated. A gated key present in the
 //     baseline but missing from the candidate fails explicitly.
@@ -115,7 +118,8 @@ func compare(base, cand benchStats, tol float64) []string {
 // gatedValue reports whether a values key carries a behavioural
 // guarantee that benchdiff enforces (vs informational context).
 func gatedValue(k string) bool {
-	return strings.HasPrefix(k, "lost") || k == "failover_ms_mean" || k == "failover_ms_max"
+	return strings.HasPrefix(k, "lost") || k == "failover_ms_mean" || k == "failover_ms_max" ||
+		k == "goodput_rps" || strings.HasPrefix(k, "p999_ms")
 }
 
 // compareValues gates behavioural values. Non-gated keys — including
@@ -154,6 +158,14 @@ func compareValues(base, cand map[string]float64, tol float64) []string {
 			if cv < lo || cv > hi {
 				fails = append(fails, fmt.Sprintf(
 					"%s %.2f -> %.2f (tolerance ±%.0f%%): failover latency drifted", k, bv, cv, 100*tol))
+			}
+		case k == "goodput_rps" || strings.HasPrefix(k, "p999_ms"):
+			// Serving throughput and tail latency: deterministic, so
+			// any drift past tolerance is a behaviour change.
+			lo, hi := bv*(1-tol), bv*(1+tol)
+			if cv < lo || cv > hi {
+				fails = append(fails, fmt.Sprintf(
+					"%s %.3f -> %.3f (tolerance ±%.0f%%): serving behaviour drifted", k, bv, cv, 100*tol))
 			}
 		}
 	}

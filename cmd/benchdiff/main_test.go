@@ -113,6 +113,56 @@ func TestCompareValues(t *testing.T) {
 	}
 }
 
+func TestCompareServingValues(t *testing.T) {
+	// A record shaped like BENCH_ext-serve.json: goodput plus overall and
+	// per-phase tail quantiles, with wall_* and p50 informational.
+	base := benchStats{
+		ID: "ext-serve", Events: 1000, Allocs: 500,
+		Values: map[string]float64{
+			"goodput_rps":     3_700_000,
+			"p999_ms":         0.110,
+			"p999_ms_migrate": 0.227,
+			"p50_ms":          0.012, // informational, never gated
+			"wall_ms_p8":      950,   // host time, never gated
+			"wall_speedup_p8": 3.1,   // host time, never gated
+			"events":          123456,
+		},
+	}
+	cases := []struct {
+		name  string
+		vals  map[string]float64
+		fails int
+	}{
+		{"identical", map[string]float64{
+			"goodput_rps": 3_700_000, "p999_ms": 0.110, "p999_ms_migrate": 0.227,
+			"p50_ms": 0.012, "wall_ms_p8": 950, "wall_speedup_p8": 3.1, "events": 123456}, 0},
+		{"within tolerance", map[string]float64{
+			"goodput_rps": 3_500_000, "p999_ms": 0.115, "p999_ms_migrate": 0.23}, 0},
+		{"goodput collapses", map[string]float64{
+			"goodput_rps": 2_000_000, "p999_ms": 0.110, "p999_ms_migrate": 0.227}, 1},
+		{"goodput too-good is still drift", map[string]float64{
+			"goodput_rps": 9_000_000, "p999_ms": 0.110, "p999_ms_migrate": 0.227}, 1},
+		{"tail regresses", map[string]float64{
+			"goodput_rps": 3_700_000, "p999_ms": 0.5, "p999_ms_migrate": 0.227}, 1},
+		{"migration-phase tail regresses", map[string]float64{
+			"goodput_rps": 3_700_000, "p999_ms": 0.110, "p999_ms_migrate": 0.9}, 1},
+		{"wall and p50 drift never gate", map[string]float64{
+			"goodput_rps": 3_700_000, "p999_ms": 0.110, "p999_ms_migrate": 0.227,
+			"p50_ms": 9.9, "wall_ms_p8": 1, "wall_speedup_p8": 0.1, "events": 1}, 0},
+		{"gated serving key vanished", map[string]float64{
+			"goodput_rps": 3_700_000, "p999_ms": 0.110}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cand := benchStats{Events: 1000, Allocs: 500, Values: tc.vals}
+			fails := compare(base, cand, 0.10)
+			if len(fails) != tc.fails {
+				t.Fatalf("compare = %d failures %v, want %d", len(fails), fails, tc.fails)
+			}
+		})
+	}
+}
+
 func TestReadStatsFailures(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, body string) {

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
@@ -35,6 +36,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gpu"
+	"repro/internal/load"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/sharded"
@@ -83,6 +86,7 @@ var scenarios = []scenario{
 			{Cores: 8, MemBytes: 2 << 30},
 		}
 	}, runReplicas},
+	{"serve", "open-loop multi-tenant serving against a sharded map (ext-serve style)", twoBig, runServe},
 }
 
 func findScenario(name string) *scenario {
@@ -405,6 +409,111 @@ func runReplicas(sys *core.System, horizon sim.Time, out io.Writer) error {
 			rm.PromoteLatency.Mean()*1000, rm.PromoteLatency.Max()*1000, n)
 	}
 	fmt.Fprintln(out)
+	return nil
+}
+
+// runServe drives an ext-serve-style open-loop request stream against a
+// sharded map: two tenants' aggregate arrival processes (a diurnal web
+// tenant and a flash-crowding batch tenant) stand in for tens of
+// thousands of clients, Zipfian samplers skew key popularity, and a
+// jittered antagonist steals cores mid-run so the reported tail has
+// real contention in it. It prints the latency histogram summary an
+// operator would read: per-tenant load, goodput, timeout rate, and
+// p50/p99/p999.
+func runServe(sys *core.System, horizon sim.Time, out io.Writer) error {
+	const (
+		objects  = 4096
+		objBytes = 512
+		batchMax = 32
+		servers  = 4
+	)
+	poll := 20 * time.Microsecond
+	deadline := sim.Time(time.Millisecond)
+
+	kv, err := sharded.NewMap[uint64, int](sys, "kv", sharded.Options{MaxShardBytes: 1 << 20})
+	if err != nil {
+		return err
+	}
+
+	hist := metrics.NewLogHistogram("serve.latency")
+	var queue []load.Request
+	qhead := 0
+	inj := load.NewInjector(sys.K, 250*time.Microsecond, func(r load.Request) {
+		queue = append(queue, r)
+	})
+	step := time.Duration(horizon) / 200
+	web := inj.AddTenant("web",
+		load.Sampled(horizon, step, load.Diurnal(40_000, 0.4, time.Duration(horizon)/2)),
+		load.NewZipf(objects, 0.99))
+	spike := load.Spike(sim.Time(float64(horizon)*0.5),
+		time.Duration(horizon)/20, time.Duration(horizon)/10, time.Duration(horizon)/20, 4)
+	diur := load.Diurnal(15_000, 0.2, time.Duration(horizon)/2)
+	batch := inj.AddTenant("batch",
+		load.Sampled(horizon, step, func(t sim.Time) float64 { return diur(t) * spike(t) }),
+		load.NewZipf(objects, 0.75))
+
+	// The antagonist's busy windows collide with serving on m1; Jitter
+	// decorrelates them from the diurnal phase.
+	ant := &workload.Antagonist{Machine: sys.Cluster.Machine(1),
+		Period: time.Duration(horizon) / 10, Busy: time.Duration(horizon) / 40,
+		Cores: 4, Jitter: time.Duration(horizon) / 100, Rng: rand.New(rand.NewSource(7))}
+	ant.Start(sys.K)
+
+	var served, timeouts uint64
+	sys.K.Spawn("setup", func(p *sim.Proc) {
+		for r := uint64(0); r < objects; r++ {
+			if err := kv.Put(p, 0, load.ScrambleKey(r), int(r), objBytes); err != nil {
+				return
+			}
+		}
+		inj.Start(p.Now(), horizon)
+		for s := 0; s < servers; s++ {
+			sys.K.Spawn(fmt.Sprintf("server-%d", s), func(p *sim.Proc) {
+				keys := make([]uint64, 0, batchMax)
+				for {
+					if qhead == len(queue) {
+						if p.Now() >= horizon {
+							return
+						}
+						p.Sleep(poll)
+						continue
+					}
+					n := len(queue) - qhead
+					if n > batchMax {
+						n = batchMax
+					}
+					reqs := queue[qhead : qhead+n]
+					qhead += n
+					keys = keys[:0]
+					for _, r := range reqs {
+						keys = append(keys, r.Key)
+					}
+					if _, _, err := kv.GetBatch(p, 0, keys); err != nil {
+						return
+					}
+					now := p.Now()
+					for _, r := range reqs {
+						lat := int64(now - r.At)
+						hist.Record(lat)
+						served++
+						if lat > int64(deadline) {
+							timeouts++
+						}
+					}
+				}
+			})
+		}
+	})
+	sys.K.RunUntil(horizon)
+
+	fmt.Fprintln(out, "-- serving plane --")
+	fmt.Fprintf(out, "tenants: %s %d reqs, %s %d reqs over %d windows\n",
+		inj.TenantName(web), inj.Generated(web),
+		inj.TenantName(batch), inj.Generated(batch), inj.Windows())
+	goodput := float64(served-timeouts) / (float64(horizon) / float64(time.Second))
+	fmt.Fprintf(out, "generated %d, served %d, timeouts %d (deadline %v), goodput %.0f req/s\n",
+		inj.TotalGenerated(), served, timeouts, time.Duration(deadline), goodput)
+	fmt.Fprintf(out, "%s\n\n", hist)
 	return nil
 }
 

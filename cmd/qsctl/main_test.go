@@ -85,6 +85,33 @@ func TestChurnTraceCausality(t *testing.T) {
 	}
 }
 
+// TestServeScenarioReportsTail runs the open-loop serving scenario and
+// checks the operator summary: both tenants generated load, every
+// generated request that was served shows up in the histogram, and the
+// latency line carries the p50/p99/p999 tail quantiles.
+func TestServeScenarioReportsTail(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "serve", "-horizon-ms", "30"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	rep := out.String()
+	for _, want := range []string{"serving plane", "web", "batch", "goodput",
+		"p50=", "p99=", "p999=", "timeouts"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("serve output missing %q:\n%s", want, rep)
+		}
+	}
+	// Same flags, same seed: the run is deterministic, so a second
+	// invocation must print byte-identical serving stats.
+	var out2, errb2 bytes.Buffer
+	if code := run([]string{"-scenario", "serve", "-horizon-ms", "30"}, &out2, &errb2); code != 0 {
+		t.Fatalf("second run exit = %d (stderr: %s)", code, errb2.String())
+	}
+	if out.String() != out2.String() {
+		t.Error("serve scenario output differs between identical runs")
+	}
+}
+
 func TestAnalyzeReportsMethodPercentiles(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.jsonl")
 	var out, errb bytes.Buffer

@@ -15,6 +15,7 @@ import (
 // distributed pointers and sharded structures).
 const (
 	methodMemGet      = "mem.get"
+	methodMemGetBatch = "mem.getbatch"
 	methodMemPut      = "mem.put"
 	methodMemDel      = "mem.del"
 	methodMemScan     = "mem.scan"
@@ -72,6 +73,12 @@ type putReq struct {
 // scanReq asks for all objects with id in [lo, hi).
 type scanReq struct {
 	lo, hi uint64
+}
+
+// getBatchReq asks for a specific set of objects by ID (request fan-in:
+// many reads against one shard collapse into one invocation).
+type getBatchReq struct {
+	ids []uint64
 }
 
 // scanRes carries a batch of objects out of mem.scan; it doubles as the
@@ -189,6 +196,24 @@ func (mp *MemoryProclet) registerMethods() {
 			return proclet.Msg{}, fmt.Errorf("%w: obj %d in %s", ErrNoObject, id, mp.pr.Name())
 		}
 		return proclet.Msg{Payload: e.val, Bytes: e.bytes}, nil
+	})
+	mp.pr.HandleFast(methodMemGetBatch, func(arg proclet.Msg) (proclet.Msg, error) {
+		// Read-only and non-blocking, so like mem.get it serves on the
+		// inline fast path even on a replicated primary. Absent IDs are
+		// skipped: the response lists what was found.
+		if err := mp.gate(); err != nil {
+			return proclet.Msg{}, err
+		}
+		r := arg.Payload.(*getBatchReq)
+		res := &scanRes{}
+		for _, id := range r.ids {
+			if e, ok := mp.objs[id]; ok {
+				res.ids = append(res.ids, id)
+				res.vals = append(res.vals, e.val)
+				res.bytes = append(res.bytes, e.bytes)
+			}
+		}
+		return proclet.Msg{Payload: res, Bytes: res.totalBytes()}, nil
 	})
 	mp.pr.HandleWithFallback(methodMemPut, mp.fastMutator(mp.applyPut), mp.replMutator(mp.applyPut))
 	mp.pr.HandleWithFallback(methodMemDel, mp.fastMutator(mp.applyDel), mp.replMutator(mp.applyDel))
@@ -415,6 +440,21 @@ func (mp *MemoryProclet) Get(p *sim.Proc, from cluster.MachineID, id uint64) (an
 		return nil, err
 	}
 	return res.Payload, nil
+}
+
+// GetBatch fetches the objects with the given IDs in one invocation.
+// Absent IDs are skipped: the returned ids slice lists what was found,
+// aligned with vals. One batched call costs one network round instead
+// of len(ids), which is the point — open-loop serving fans many
+// same-shard reads into a single RPC.
+func (mp *MemoryProclet) GetBatch(p *sim.Proc, from cluster.MachineID, ids []uint64) ([]uint64, []any, error) {
+	res, err := mp.sys.Runtime.Invoke(p, from, 0, mp.ID(), methodMemGetBatch,
+		proclet.Msg{Payload: &getBatchReq{ids: ids}, Bytes: int64(8 * len(ids))})
+	if err != nil {
+		return nil, nil, err
+	}
+	r := res.Payload.(*scanRes)
+	return r.ids, r.vals, nil
 }
 
 // Del removes the object with the given ID.

@@ -24,6 +24,7 @@
 //	ext-chaos      extension — goodput under injected crashes/partitions
 //	ext-failover   extension — replicated proclets, leases, failover
 //	ext-scale      extension — 1,000-machine partitioned fleet (ParKernel)
+//	ext-serve      extension — million-client open-loop serving (tail latency)
 package experiments
 
 import (
@@ -179,6 +180,7 @@ var registry = map[string]struct {
 	"ext-chaos":       {"extension: goodput dip and recovery under injected crashes and partitions", runExtChaos},
 	"ext-failover":    {"extension: replicated memory proclets fail over a crash without data loss", runExtFailover},
 	"ext-scale":       {"extension: 1,000-machine partitioned fleet, deterministic at any worker count", runExtScale},
+	"ext-serve":       {"extension: million-client open-loop serving with tail-latency telemetry", runExtServe},
 }
 
 // List returns registered experiment IDs, sorted.

@@ -8,8 +8,8 @@ import (
 
 func TestListAndTitles(t *testing.T) {
 	ids := List()
-	if len(ids) != 18 {
-		t.Fatalf("List() = %v, want 18 experiments", ids)
+	if len(ids) != 19 {
+		t.Fatalf("List() = %v, want 19 experiments", ids)
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -509,6 +509,94 @@ func TestExtScaleShape(t *testing.T) {
 	}
 	if len(res.Trace) == 0 || res.EventsProcessed == 0 {
 		t.Error("missing merged trace or event count")
+	}
+}
+
+func TestExtServeShape(t *testing.T) {
+	res, err := Run("ext-serve", TestScale)
+	if err != nil {
+		t.Fatal(err) // includes the in-run P={1,4,8} determinism assertion
+	}
+	if res.Values["machines"] != 24 || res.Values["shards"] != 8 {
+		t.Errorf("fleet = %v machines / %v shards, want 24/8 at test scale",
+			res.Values["machines"], res.Values["shards"])
+	}
+	if res.Values["clients"] != 25_000 {
+		t.Errorf("clients = %v, want 25000 at test scale", res.Values["clients"])
+	}
+	if res.Values["requests"] <= 0 || res.Values["served"] != res.Values["requests"] {
+		t.Errorf("requests = %v served = %v: open-loop stream did not fully drain",
+			res.Values["requests"], res.Values["served"])
+	}
+	if res.Values["errors"] != 0 {
+		t.Errorf("errors = %v, want 0 (all keys preloaded)", res.Values["errors"])
+	}
+	if res.Values["goodput_rps"] <= 0 {
+		t.Errorf("goodput_rps = %v, want > 0", res.Values["goodput_rps"])
+	}
+	// Quantile sanity: p50 <= p99 <= p999, all positive.
+	p50, p99, p999 := res.Values["p50_ms"], res.Values["p99_ms"], res.Values["p999_ms"]
+	if p50 <= 0 || p99 < p50 || p999 < p99 {
+		t.Errorf("quantiles not ordered: p50=%v p99=%v p999=%v", p50, p99, p999)
+	}
+	// Every phase produced traffic and a tail measurement.
+	for _, ph := range servePhases {
+		if res.Values["p999_ms_"+ph] <= 0 {
+			t.Errorf("phase %s has no p999 (no traffic?)", ph)
+		}
+	}
+	// Migration under load actually moved stores, and the migrate-phase
+	// tail reflects it (at least as slow as the calm diurnal phase).
+	if res.Values["migrations"] != float64(8*serveConfig(TestScale).migratePer) {
+		t.Errorf("migrations = %v, want %d", res.Values["migrations"], 8*serveConfig(TestScale).migratePer)
+	}
+	if res.Values["p999_ms_migrate"] < res.Values["p999_ms_diurnal"] {
+		t.Errorf("migrate-phase p999 %v below diurnal %v: migration blackout invisible",
+			res.Values["p999_ms_migrate"], res.Values["p999_ms_diurnal"])
+	}
+	if res.Values["windows"] <= 0 || res.Values["cross_msgs"] <= 0 {
+		t.Errorf("windows = %v cross_msgs = %v: fleet never coupled",
+			res.Values["windows"], res.Values["cross_msgs"])
+	}
+	if res.Values["wall_ms_p1"] <= 0 || res.Values["wall_ms_p8"] <= 0 {
+		t.Error("missing wall_ms_* values")
+	}
+	if res.EventsProcessed == 0 {
+		t.Error("missing event count")
+	}
+}
+
+func TestExtServeDeterminism(t *testing.T) {
+	defer SetBaseSeed(0)
+	for _, seed := range []int64{0, 5} {
+		SetBaseSeed(seed)
+		r1, err := Run("ext-serve", TestScale)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := Run("ext-serve", TestScale)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r1.EventsProcessed != r2.EventsProcessed {
+			t.Errorf("seed %d: events %d vs %d across runs", seed, r1.EventsProcessed, r2.EventsProcessed)
+		}
+		for k, v := range r1.Values {
+			if strings.HasPrefix(k, "wall_") {
+				continue
+			}
+			if r2.Values[k] != v {
+				t.Errorf("seed %d: %s = %v vs %v across runs", seed, k, v, r2.Values[k])
+			}
+		}
+		for i := range r1.Lines {
+			if r1.Lines[i] != r2.Lines[i] {
+				t.Errorf("seed %d: line %d differs:\n%s\n%s", seed, i, r1.Lines[i], r2.Lines[i])
+			}
+		}
+		if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+			t.Errorf("seed %d: merged traces differ across runs", seed)
+		}
 	}
 }
 

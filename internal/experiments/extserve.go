@@ -1,0 +1,553 @@
+package experiments
+
+// ext-serve: the million-client open-loop serving scenario (ROADMAP
+// item 1). Per-client state is the thing this experiment refuses to
+// have: tenants are modeled as aggregate nonhomogeneous-Poisson arrival
+// processes (internal/load) whose intensity is client count x
+// per-client rate, so 2.5 million simulated clients cost O(request
+// rate) — the generators never know a client ID exists.
+//
+// The fleet is the partitioned kernel from ext-scale: 8 shards x 125
+// machines (full scale) stitched by a simnet.Partition. Each shard owns
+// one load.Injector for its machines — arrivals drawn in batches per
+// lookahead-aligned window, keys drawn from per-tenant O(1) Zipfian
+// samplers, everything from per-shard RNG streams — and a pool of
+// server processes that drain the arrival queue through batched
+// mem.getbatch fan-in RPCs to the shard's stores. Latency
+// (arrival-to-completion, i.e. queue wait + fan-in service) lands in
+// fixed-bucket metrics.LogHistograms: alloc-free to record, merged
+// across shards in fixed order, byte-identical at any worker count.
+//
+// Three phases share the horizon: a diurnal baseline, a flash crowd
+// (tenant C's intensity ramps ~5x), and migration-under-load (every
+// shard migrates two of its stores to different machines while serving,
+// so the migrate-phase p999 shows the blackout cost). A jittered
+// workload.Antagonist per shard exercises the injected-RNG interference
+// path. Like ext-scale, the run is its own determinism harness: the
+// same seed executes at P in {1, 4, 8} host workers and every
+// deterministic observable — per-shard events, request counts,
+// histogram snapshots, merged trace — must be identical.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// serveTenant is one tenant population: clients x perRPS gives the
+// offered aggregate rate; keys/theta shape its Zipfian popularity.
+type serveTenant struct {
+	name    string
+	clients float64
+	perRPS  float64 // mean per-client request rate, req/s
+	keys    uint64  // Zipfian keyspace size
+	theta   float64 // Zipf skew
+	spike   bool    // rides the flash-crowd multiplier
+}
+
+// serveCfg parameterizes the serving fleet.
+type serveCfg struct {
+	shards     int
+	perShard   int // machines per shard
+	stores     int // memory proclets per shard
+	objsPer    int // preloaded objects per store
+	objBytes   int64
+	servers    int // server procs per shard
+	batchMax   int // max requests per fan-in batch
+	poll       time.Duration
+	crossEvery int // cross-shard gateway ping every Nth batch
+	deadline   time.Duration
+	horizon    sim.Time
+	slack      sim.Time
+	injWindows int     // injector batch window, in lookahead windows
+	diurnalAmp float64 // diurnal sine amplitude
+	spikeMult  float64 // flash-crowd multiplier
+	migratePer int     // stores migrated per shard in the migrate phase
+	sampleStep time.Duration
+	tenants    []serveTenant
+	workers    []int // host worker counts to sweep
+	flashAt    float64
+	migrateAt  float64
+}
+
+func serveConfig(scale Scale) serveCfg {
+	cfg := serveCfg{
+		shards:     8,
+		perShard:   3,
+		stores:     4,
+		objsPer:    512,
+		objBytes:   256,
+		servers:    4,
+		batchMax:   32,
+		poll:       20 * time.Microsecond,
+		crossEvery: 8,
+		deadline:   time.Millisecond,
+		horizon:    sim.Time(8 * time.Millisecond),
+		slack:      sim.Time(8 * time.Millisecond),
+		injWindows: 125, // 125 x 2us lookahead = 250us batch windows
+		diurnalAmp: 0.3,
+		spikeMult:  4,
+		migratePer: 2,
+		sampleStep: 100 * time.Microsecond,
+		flashAt:    0.40,
+		migrateAt:  0.70,
+		workers:    []int{1, 4, 8},
+		tenants: []serveTenant{
+			{name: "A", clients: 12_000, perRPS: 30, keys: 10_000_000, theta: 0.99},
+			{name: "B", clients: 8_000, perRPS: 24, keys: 5_000_000, theta: 0.90},
+			{name: "C", clients: 5_000, perRPS: 20, keys: 2_000_000, theta: 0.75, spike: true},
+		},
+	}
+	if scale == FullScale {
+		cfg.perShard = 125 // 8 x 125 = 1,000 machines
+		cfg.stores = 16
+		cfg.objsPer = 2048
+		cfg.servers = 8
+		cfg.batchMax = 64
+		cfg.spikeMult = 5
+		cfg.migratePer = 4
+		cfg.horizon = sim.Time(20 * time.Millisecond)
+		cfg.slack = sim.Time(20 * time.Millisecond)
+		cfg.sampleStep = 250 * time.Microsecond
+		cfg.tenants = []serveTenant{
+			{name: "A", clients: 1_200_000, perRPS: 1.5, keys: 10_000_000, theta: 0.99},
+			{name: "B", clients: 800_000, perRPS: 1.2, keys: 5_000_000, theta: 0.90},
+			{name: "C", clients: 500_000, perRPS: 1.0, keys: 2_000_000, theta: 0.75, spike: true},
+		}
+	}
+	return cfg
+}
+
+// servePhases names the three phases; arrival time decides a request's
+// phase, so attribution is independent of when service completes.
+var servePhases = []string{"diurnal", "flash", "migrate"}
+
+func (cfg serveCfg) totalClients() float64 {
+	var n float64
+	for _, t := range cfg.tenants {
+		n += t.clients
+	}
+	return n
+}
+
+func (cfg serveCfg) phaseOf(at sim.Time) int {
+	switch {
+	case at < sim.Time(float64(cfg.horizon)*cfg.flashAt):
+		return 0
+	case at < sim.Time(float64(cfg.horizon)*cfg.migrateAt):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// serveDet is every observable that must be identical at any worker
+// count, compared with reflect.DeepEqual across the P sweep. Histogram
+// state rides along as snapshots: if a single latency bucket shifts
+// between worker counts, the run fails.
+type serveDet struct {
+	ShardEvents []uint64
+	Generated   []uint64
+	Served      []uint64
+	Timeouts    []uint64
+	Errors      []uint64
+	Migrations  []int64
+	StartNS     []int64 // per-shard injection start (after preload)
+	Windows     uint64
+	CrossMsgs   uint64
+	Phases      []metrics.LogSnapshot // merged across shards, per phase
+	Overall     metrics.LogSnapshot
+	Trace       []string
+}
+
+type serveOutcome struct {
+	det     serveDet
+	phases  []*metrics.LogHistogram
+	overall *metrics.LogHistogram
+	wallMS  float64
+}
+
+// runServeOnce builds the partitioned serving fleet and drives it with
+// the given number of host workers.
+func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
+	var out serveOutcome
+	start := time.Now()
+
+	lookahead := sim.Time(core.DefaultConfig().Net.Latency.Nanoseconds())
+	pk := sim.NewParKernel(seeded(37), cfg.shards, lookahead)
+	defer pk.Close()
+	pk.SetWorkers(workers)
+	injWindow := time.Duration(lookahead) * time.Duration(cfg.injWindows)
+
+	machines := make([]cluster.MachineConfig, cfg.perShard)
+	for i := range machines {
+		machines[i] = cluster.MachineConfig{Cores: 4, MemBytes: 64 << 20}
+	}
+
+	// Shared immutable per-tenant samplers: one zeta precompute serves
+	// all shards; each shard draws from its own RNG streams.
+	zipfs := make([]*load.Zipf, len(cfg.tenants))
+	for i, t := range cfg.tenants {
+		zipfs[i] = load.NewZipf(t.keys, t.theta)
+	}
+
+	type shardState struct {
+		sys     *core.System
+		stores  []*core.MemoryProclet
+		inj     *load.Injector
+		queue   []load.Request
+		qhead   int
+		served  uint64
+		timeout uint64
+		errs    uint64
+		migOK   int64
+		startNS int64
+		phases  []*metrics.LogHistogram
+		overall *metrics.LogHistogram
+		done    bool
+	}
+	shards := make([]*shardState, cfg.shards)
+	fabrics := make([]*simnet.Fabric, cfg.shards)
+	for s := 0; s < cfg.shards; s++ {
+		sysCfg := core.DefaultConfig()
+		sysCfg.Seed = seeded(37) + int64(s)
+		sys := core.NewSystemOnKernel(pk.Shard(s), sysCfg, machines)
+		st := &shardState{sys: sys, overall: metrics.NewLogHistogram(fmt.Sprintf("s%d.lat", s))}
+		for _, ph := range servePhases {
+			st.phases = append(st.phases, metrics.NewLogHistogram(fmt.Sprintf("s%d.lat.%s", s, ph)))
+		}
+		shards[s] = st
+		fabrics[s] = sys.Cluster.Fabric
+	}
+	pt := simnet.NewPartition(pk, fabrics)
+
+	for s := 0; s < cfg.shards; s++ {
+		s := s
+		st := shards[s]
+		k := pk.Shard(s)
+		st.sys.Start()
+
+		// Stores round-robin over machines 1..perShard-1; machine 0 is the
+		// shard's front-end (servers + cross-shard gateway).
+		st.stores = make([]*core.MemoryProclet, cfg.stores)
+		for i := range st.stores {
+			mid := cluster.MachineID(1 + i%(cfg.perShard-1))
+			mp, err := core.NewMemoryProcletOn(st.sys, fmt.Sprintf("s%d-store-%d", s, i), mid)
+			if err != nil {
+				return out, err
+			}
+			st.stores[i] = mp
+		}
+		st.sys.Cluster.Node(0).HandleFast("xget", func(req simnet.Message) (simnet.Message, error) {
+			return simnet.Message{Payload: int64(st.served), Bytes: 64}, nil
+		})
+
+		// The shard's injector: tenant curves are the fleet intensity
+		// divided by the shard count, diurnal-modulated, with tenant C
+		// riding the flash-crowd multiplier. Arrivals land in the shard's
+		// serving queue; servers drain it.
+		st.inj = load.NewInjector(k, injWindow, func(r load.Request) {
+			st.queue = append(st.queue, r)
+		})
+		period := time.Duration(cfg.horizon)
+		spikeF := load.Spike(
+			sim.Time(float64(cfg.horizon)*cfg.flashAt),
+			period/10, period*3/20, period/10, cfg.spikeMult)
+		for ti, t := range cfg.tenants {
+			base := load.Diurnal(t.clients*t.perRPS/float64(cfg.shards), cfg.diurnalAmp, period)
+			f := base
+			if t.spike {
+				f = func(at sim.Time) float64 { return base(at) * spikeF(at) }
+			}
+			st.inj.AddTenant(t.name, load.Sampled(cfg.horizon, cfg.sampleStep, f), zipfs[ti])
+		}
+
+		// A jittered high-priority antagonist on one store machine: its
+		// interference pattern comes from an injected per-shard RNG, so it
+		// replays identically at any worker count.
+		ant := &workload.Antagonist{
+			Machine: st.sys.Cluster.Machine(1),
+			Period:  2 * time.Millisecond, Busy: 500 * time.Microsecond,
+			Cores: 2, Jitter: 200 * time.Microsecond,
+			Rng: rand.New(rand.NewSource(seeded(41) + int64(s))),
+		}
+		ant.Start(k)
+
+		// Preload, then open the floodgates: injection starts the moment
+		// the stores are populated (a deterministic virtual-time instant).
+		k.Spawn(fmt.Sprintf("s%d-setup", s), func(p *sim.Proc) {
+			ids := make([]uint64, cfg.objsPer)
+			vals := make([]any, cfg.objsPer)
+			sizes := make([]int64, cfg.objsPer)
+			for i := range ids {
+				ids[i] = uint64(i)
+				vals[i] = int64(i)
+				sizes[i] = cfg.objBytes
+			}
+			for _, mp := range st.stores {
+				if err := mp.PutBatch(p, 0, ids, vals, sizes); err != nil {
+					panic(fmt.Sprintf("ext-serve preload: %v", err))
+				}
+			}
+			st.startNS = int64(p.Now())
+			st.inj.Start(p.Now(), cfg.horizon)
+		})
+
+		// Server pool: batched fan-in. Each server takes a run of queued
+		// requests, groups them by store, and issues one mem.getbatch per
+		// touched store instead of one RPC per request.
+		var wg sim.WaitGroup
+		for srv := 0; srv < cfg.servers; srv++ {
+			wg.Add(1)
+			k.Spawn(fmt.Sprintf("s%d-server-%d", s, srv), func(p *sim.Proc) {
+				defer wg.Done()
+				byStore := make([][]uint64, cfg.stores)
+				batch := make([]load.Request, 0, cfg.batchMax)
+				batches := 0
+				for {
+					if st.qhead == len(st.queue) {
+						if p.Now() >= cfg.horizon {
+							return // all arrivals delivered and drained
+						}
+						p.Sleep(cfg.poll)
+						continue
+					}
+					n := len(st.queue) - st.qhead
+					if n > cfg.batchMax {
+						n = cfg.batchMax
+					}
+					batch = append(batch[:0], st.queue[st.qhead:st.qhead+n]...)
+					st.qhead += n
+					for i := range byStore {
+						byStore[i] = byStore[i][:0]
+					}
+					for _, r := range batch {
+						si := int(r.Key % uint64(cfg.stores))
+						byStore[si] = append(byStore[si], r.Key%uint64(cfg.objsPer))
+					}
+					for si, ids := range byStore {
+						if len(ids) == 0 {
+							continue
+						}
+						gotIDs, _, err := st.stores[si].GetBatch(p, 0, ids)
+						if err != nil {
+							st.errs += uint64(len(ids))
+						} else if len(gotIDs) == 0 {
+							st.errs++
+						}
+					}
+					now := p.Now()
+					for _, r := range batch {
+						lat := int64(now - r.At)
+						st.overall.Record(lat)
+						st.phases[cfg.phaseOf(r.At)].Record(lat)
+						st.served++
+						if lat > int64(cfg.deadline) {
+							st.timeout++
+						}
+					}
+					batches++
+					if batches%cfg.crossEvery == 0 {
+						// Keep the fleet coupled: a cross-shard gateway read
+						// rides the partition mailboxes.
+						_, err := pt.Call(p, simnet.ShardNode{Shard: s, Node: 0},
+							simnet.ShardNode{Shard: (s + 1) % cfg.shards, Node: 0},
+							"xget", simnet.Message{Bytes: 64})
+						if err != nil {
+							st.errs++
+						}
+					}
+				}
+			})
+		}
+
+		// Migration under load: partway through the migrate phase each
+		// shard moves migratePer stores to new machines while the servers
+		// keep draining.
+		k.Spawn(fmt.Sprintf("s%d-migrator", s), func(p *sim.Proc) {
+			p.Sleep(time.Duration(float64(cfg.horizon) * (cfg.migrateAt + 0.05)))
+			for i := 0; i < cfg.migratePer && i < len(st.stores); i++ {
+				from := st.stores[i].Location()
+				to := cluster.MachineID(1 + (int(from)+((cfg.perShard-1)+1)/2-1)%(cfg.perShard-1))
+				if to == from {
+					to = cluster.MachineID(1 + int(from)%(cfg.perShard-1))
+				}
+				if err := st.sys.Runtime.Migrate(p, st.stores[i].ID(), to); err == nil {
+					st.migOK++
+				}
+			}
+		})
+
+		k.Spawn(fmt.Sprintf("s%d-verify", s), func(p *sim.Proc) {
+			wg.Wait(p)
+			st.done = true
+		})
+	}
+
+	pk.RunUntil(cfg.horizon + cfg.slack)
+
+	det := serveDet{
+		ShardEvents: make([]uint64, cfg.shards),
+		Generated:   make([]uint64, cfg.shards),
+		Served:      make([]uint64, cfg.shards),
+		Timeouts:    make([]uint64, cfg.shards),
+		Errors:      make([]uint64, cfg.shards),
+		Migrations:  make([]int64, cfg.shards),
+		StartNS:     make([]int64, cfg.shards),
+	}
+	for s, st := range shards {
+		if !st.done {
+			return out, fmt.Errorf("ext-serve: shard %d did not drain by %v (%d/%d served)",
+				s, cfg.horizon+cfg.slack, st.served, st.inj.TotalGenerated())
+		}
+		det.ShardEvents[s] = pk.Shard(s).EventsProcessed()
+		det.Generated[s] = st.inj.TotalGenerated()
+		det.Served[s] = st.served
+		det.Timeouts[s] = st.timeout
+		det.Errors[s] = st.errs
+		det.Migrations[s] = st.migOK
+		det.StartNS[s] = st.startNS
+	}
+	det.Windows = pk.Windows()
+	det.CrossMsgs = uint64(pt.CrossCalls.Value())
+
+	// Merge shard-local histograms in fixed shard order (the
+	// obs.MergeSeries pattern): integer bucket addition, byte-identical
+	// at any worker count.
+	out.overall = metrics.NewLogHistogram("latency")
+	out.phases = make([]*metrics.LogHistogram, len(servePhases))
+	for ph := range servePhases {
+		out.phases[ph] = metrics.NewLogHistogram("latency." + servePhases[ph])
+	}
+	for _, st := range shards {
+		out.overall.Merge(st.overall)
+		for ph := range servePhases {
+			out.phases[ph].Merge(st.phases[ph])
+		}
+	}
+	det.Overall = out.overall.Snapshot()
+	for ph := range servePhases {
+		det.Phases = append(det.Phases, out.phases[ph].Snapshot())
+	}
+	logs := make([]*trace.Log, cfg.shards)
+	for s, st := range shards {
+		logs[s] = st.sys.Trace
+	}
+	for _, e := range trace.Merge(logs...).Events() {
+		det.Trace = append(det.Trace, e.String())
+	}
+	out.det = det
+	out.wallMS = float64(time.Since(start).Microseconds()) / 1000
+	return out, nil
+}
+
+func runExtServe(scale Scale) (*Result, error) {
+	cfg := serveConfig(scale)
+	res := newResult("ext-serve", "extension: million-client open-loop serving with tail-latency telemetry")
+	res.addf("fleet: %d shards x %d machines = %d machines; %d stores + %d servers per shard",
+		cfg.shards, cfg.perShard, cfg.shards*cfg.perShard, cfg.stores, cfg.servers)
+	for _, t := range cfg.tenants {
+		extra := ""
+		if t.spike {
+			extra = fmt.Sprintf(" [flash crowd x%.0f]", cfg.spikeMult)
+		}
+		res.addf("tenant %s: %.0f clients x %.1f req/s, zipf(theta=%.2f) over %d keys%s",
+			t.name, t.clients, t.perRPS, t.theta, t.keys, extra)
+	}
+
+	var ref serveOutcome
+	wall := make(map[int]float64, len(cfg.workers))
+	for i, p := range cfg.workers {
+		o, err := runServeOnce(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		wall[p] = o.wallMS
+		res.EventsProcessed += sumU64(o.det.ShardEvents)
+		if i == 0 {
+			ref = o
+			continue
+		}
+		if !reflect.DeepEqual(o.det, ref.det) {
+			return nil, fmt.Errorf(
+				"ext-serve: determinism violated — P=%d diverged from P=%d (events %v vs %v, served %v vs %v)",
+				p, cfg.workers[0], o.det.ShardEvents, ref.det.ShardEvents,
+				o.det.Served, ref.det.Served)
+		}
+	}
+	res.Trace = ref.det.Trace
+
+	var generated, served, timeouts, errs uint64
+	var migrations int64
+	startNS := ref.det.StartNS[0]
+	for s := 0; s < cfg.shards; s++ {
+		generated += ref.det.Generated[s]
+		served += ref.det.Served[s]
+		timeouts += ref.det.Timeouts[s]
+		errs += ref.det.Errors[s]
+		migrations += ref.det.Migrations[s]
+		if ref.det.StartNS[s] > startNS {
+			startNS = ref.det.StartNS[s]
+		}
+	}
+	durS := float64(int64(cfg.horizon)-startNS) / 1e9
+	goodput := float64(served-timeouts) / durS
+	timeoutRate := 0.0
+	if served > 0 {
+		timeoutRate = float64(timeouts) / float64(served)
+	}
+
+	res.addf("requests: %d generated, %d served, %d past the %v deadline (%.4f%%), %d errors",
+		generated, served, timeouts, cfg.deadline, 100*timeoutRate, errs)
+	res.addf("goodput %.0f req/s over the %.2f ms serving window", goodput, durS*1e3)
+	res.addf("%s", ref.overall.String())
+	for ph, name := range servePhases {
+		h := ref.phases[ph]
+		res.addf("phase %-7s n=%-6d p50=%.3fms p99=%.3fms p999=%.3fms max=%.3fms",
+			name, h.Count(), h.QuantileMS(0.50), h.QuantileMS(0.99),
+			h.QuantileMS(0.999), float64(h.Max())/1e6)
+	}
+	res.addf("migration under load: %d stores moved; %d sync windows, %d cross-shard RPCs",
+		migrations, ref.det.Windows, ref.det.CrossMsgs)
+	res.addf("determinism: per-shard events %v identical at P=%v (asserted in-run,", ref.det.ShardEvents, cfg.workers)
+	res.addf("histogram snapshots included); wall_* keys are host time, excluded from gates.")
+
+	res.set("machines", float64(cfg.shards*cfg.perShard))
+	res.set("shards", float64(cfg.shards))
+	res.set("clients", cfg.totalClients())
+	res.set("tenants", float64(len(cfg.tenants)))
+	res.set("requests", float64(generated))
+	res.set("served", float64(served))
+	res.set("timeouts", float64(timeouts))
+	res.set("timeout_rate", timeoutRate)
+	res.set("errors", float64(errs))
+	res.set("goodput_rps", goodput)
+	res.set("p50_ms", ref.overall.QuantileMS(0.50))
+	res.set("p99_ms", ref.overall.QuantileMS(0.99))
+	res.set("p999_ms", ref.overall.QuantileMS(0.999))
+	for ph, name := range servePhases {
+		res.set("p999_ms_"+name, ref.phases[ph].QuantileMS(0.999))
+	}
+	res.set("migrations", float64(migrations))
+	res.set("windows", float64(ref.det.Windows))
+	res.set("cross_msgs", float64(ref.det.CrossMsgs))
+	res.set("events", float64(sumU64(ref.det.ShardEvents)))
+	base := wall[cfg.workers[0]]
+	for _, p := range cfg.workers {
+		res.set(fmt.Sprintf("wall_ms_p%d", p), wall[p])
+		if p != cfg.workers[0] && wall[p] > 0 {
+			res.set(fmt.Sprintf("wall_speedup_p%d", p), base/wall[p])
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks in [0, n) with P(rank=i) ∝ 1/(i+1)^theta in O(1)
+// per sample using Gray's rejection-free inversion (the "quickly
+// generating billion-record synthetic databases" generator, as adopted
+// by YCSB). All per-sample work is a handful of float operations
+// against precomputed constants — no tables, no allocations — so a
+// skewed popularity distribution over tens of millions of keys costs
+// the same as one over a hundred.
+//
+// A Zipf is immutable after construction and holds no RNG: the stream
+// is injected per call, so one shared Zipf (built once per tenant)
+// serves every shard of a partitioned simulation while each shard
+// draws from its own deterministic RNG.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// zetaExactMax bounds the exact harmonic summation; beyond it the tail
+// is closed with an Euler–Maclaurin integral correction, making
+// construction O(zetaExactMax) for any n (relative error < 1e-8 — far
+// below the generator's own discretization).
+const zetaExactMax = 1 << 16
+
+// zeta computes the generalized harmonic number H_{n,theta} =
+// Σ_{i=1..n} i^-theta: exactly for small n, with an integral-corrected
+// tail for large n.
+func zeta(n uint64, theta float64) float64 {
+	exact := n
+	if exact > zetaExactMax {
+		exact = zetaExactMax
+	}
+	var sum float64
+	for i := uint64(1); i <= exact; i++ {
+		sum += math.Pow(float64(i), -theta)
+	}
+	if n > exact {
+		// Euler–Maclaurin: Σ_{k+1..n} i^-θ ≈ ∫_k^n x^-θ dx + (n^-θ - k^-θ)/2.
+		k, fn := float64(exact), float64(n)
+		sum += (math.Pow(fn, 1-theta)-math.Pow(k, 1-theta))/(1-theta) +
+			(math.Pow(fn, -theta)-math.Pow(k, -theta))/2
+	}
+	return sum
+}
+
+// NewZipf builds a sampler over n ranks with skew theta in (0, 1) —
+// 0.99 is the YCSB default ("hotspot" skew). Construction cost is
+// bounded by zetaExactMax regardless of n.
+func NewZipf(n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("load: Zipf needs at least one rank")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("load: Zipf skew theta must be in (0, 1)")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Sample draws one rank in [0, n); rank 0 is the most popular. O(1),
+// zero allocations.
+func (z *Zipf) Sample(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.zeta2 {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// ScrambleKey maps a popularity rank to a pseudo-random but stable key
+// in the full uint64 space (splitmix64 finalizer). Zipf ranks are
+// ordered by popularity; scrambling spreads the hot head uniformly
+// across shards and stores while keeping rank→key deterministic, which
+// is how YCSB-style "scrambled zipfian" keyspaces work.
+func ScrambleKey(rank uint64) uint64 {
+	x := rank + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// AliasTable samples an arbitrary small discrete distribution in O(1)
+// per draw (Vose's alias method): one uniform draw picks a column and
+// either keeps it or takes its alias. Used for per-arrival tenant-mix
+// selection; build cost is O(n) once.
+type AliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasTable builds a sampler over weights (non-negative, at least
+// one positive).
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("load: alias table needs at least one weight")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("load: negative or NaN alias weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("load: alias table needs a positive total weight")
+	}
+	t := &AliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1 // numerical remainder
+		t.alias[i] = i
+	}
+	return t
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Sample draws one outcome index. O(1), zero allocations, one uniform
+// variate (split into column and coin).
+func (t *AliasTable) Sample(rng *rand.Rand) int {
+	u := rng.Float64() * float64(len(t.prob))
+	i := int(u)
+	if i >= len(t.prob) {
+		i = len(t.prob) - 1
+	}
+	if u-float64(i) < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

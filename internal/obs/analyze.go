@@ -23,12 +23,16 @@ type MigrationStat struct {
 }
 
 // MethodStat aggregates call latency for one (kind, method) pair.
+// Quantiles come from a fixed-bucket metrics.LogHistogram, so analyzing
+// a million-call run retains no per-call samples and p999 is available
+// at the same cost as p50.
 type MethodStat struct {
 	Kind   string
 	Method string
 	Count  int
 	P50MS  float64
 	P99MS  float64
+	P999MS float64
 	MaxMS  float64
 	Errs   int
 }
@@ -85,8 +89,7 @@ func Analyze(recs []Record) *Report {
 	}
 
 	type methodKey struct{ kind, method string }
-	hists := map[methodKey]*metrics.Histogram{}
-	maxes := map[methodKey]float64{}
+	hists := map[methodKey]*metrics.LogHistogram{}
 	errs := map[methodKey]int{}
 	type mutil struct {
 		cpu, mem []Record
@@ -113,13 +116,10 @@ func Analyze(recs []Record) *Report {
 				k := methodKey{r.Kind, r.Name}
 				h := hists[k]
 				if h == nil {
-					h = metrics.NewHistogram(r.Name)
+					h = metrics.NewLogHistogram(r.Name)
 					hists[k] = h
 				}
-				h.Observe(durMS)
-				if durMS > maxes[k] {
-					maxes[k] = durMS
-				}
+				h.Record(r.EndNS - r.StartNS)
 				if r.Err != "" {
 					errs[k]++
 				}
@@ -171,8 +171,9 @@ func Analyze(recs []Record) *Report {
 	for _, k := range keys {
 		h := hists[k]
 		rp.Methods = append(rp.Methods, MethodStat{
-			Kind: k.kind, Method: k.method, Count: h.Count(),
-			P50MS: h.Percentile(50), P99MS: h.Percentile(99), MaxMS: maxes[k],
+			Kind: k.kind, Method: k.method, Count: int(h.Count()),
+			P50MS: h.QuantileMS(0.50), P99MS: h.QuantileMS(0.99),
+			P999MS: h.QuantileMS(0.999), MaxMS: float64(h.Max()) / 1e6,
 			Errs: errs[k],
 		})
 	}
@@ -261,11 +262,11 @@ func (rp *Report) Print(w io.Writer, topN int) {
 	if len(rp.Methods) == 0 {
 		fmt.Fprintln(w, "(none)")
 	} else {
-		fmt.Fprintf(w, "%-8s %-24s %8s %9s %9s %9s %6s\n",
-			"kind", "method", "count", "p50", "p99", "max", "errs")
+		fmt.Fprintf(w, "%-8s %-24s %8s %9s %9s %9s %9s %6s\n",
+			"kind", "method", "count", "p50", "p99", "p999", "max", "errs")
 		for _, ms := range rp.Methods {
-			fmt.Fprintf(w, "%-8s %-24s %8d %9.4f %9.4f %9.4f %6d\n",
-				ms.Kind, ms.Method, ms.Count, ms.P50MS, ms.P99MS, ms.MaxMS, ms.Errs)
+			fmt.Fprintf(w, "%-8s %-24s %8d %9.4f %9.4f %9.4f %9.4f %6d\n",
+				ms.Kind, ms.Method, ms.Count, ms.P50MS, ms.P99MS, ms.P999MS, ms.MaxMS, ms.Errs)
 		}
 	}
 

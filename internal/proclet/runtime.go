@@ -3,6 +3,7 @@ package proclet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -246,7 +247,8 @@ func (rt *Runtime) Lookup(id ID) *Proclet {
 	return rt.local[m][id]
 }
 
-// Proclets returns all live proclets (iteration order unspecified).
+// Proclets returns all live proclets in ascending ID order, so dumps
+// built from it are deterministic.
 func (rt *Runtime) Proclets() []*Proclet {
 	var out []*Proclet
 	for id, m := range rt.directory {
@@ -254,6 +256,7 @@ func (rt *Runtime) Proclets() []*Proclet {
 			out = append(out, pr)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out
 }
 

@@ -207,6 +207,83 @@ func (m *Map[K, V]) Get(p *sim.Proc, from cluster.MachineID, key K) (V, error) {
 	return zero, fmt.Errorf("sharded: key %v unroutable after retries", key)
 }
 
+// GetBatch fetches many keys in one fan-in round: keys are grouped by
+// owning shard (ascending shard order, so invocation order is
+// deterministic) and each touched shard serves a single mem.getbatch
+// invocation instead of one RPC per key. Returns values aligned with
+// keys plus a found mask. Keys the batch pass misses — genuinely absent
+// or raced by a concurrent split — are re-checked individually through
+// Get, which owns the split-retry protocol, so the mask is
+// authoritative.
+func (m *Map[K, V]) GetBatch(p *sim.Proc, from cluster.MachineID, keys []K) ([]V, []bool, error) {
+	vals := make([]V, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found, nil
+	}
+	hs := make([]uint64, len(keys))
+	si := make([]int, len(keys))
+	for i, key := range keys {
+		hs[i] = hashKey(key)
+		m.gate.wait(p, hs[i])
+		si[i] = m.shardIdx(hs[i])
+	}
+	var ids []uint64
+	var members []int
+	for s := 0; s < len(m.shards); s++ {
+		ids = ids[:0]
+		members = members[:0]
+		for i := range keys {
+			if si[i] == s {
+				ids = append(ids, hs[i])
+				members = append(members, i)
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		sh := m.shards[s]
+		m.ops.enter(sh.mp.ID())
+		gotIDs, gotVals, err := sh.mp.GetBatch(p, from, ids)
+		m.ops.exit(sh.mp.ID())
+		if err != nil {
+			return nil, nil, err
+		}
+		buckets := make(map[uint64]any, len(gotIDs))
+		for j, id := range gotIDs {
+			buckets[id] = gotVals[j]
+		}
+		for _, i := range members {
+			bv, ok := buckets[hs[i]]
+			if !ok {
+				continue
+			}
+			for _, e := range bv.([]mapEntry[K, V]) {
+				if e.key == keys[i] {
+					vals[i] = e.val
+					found[i] = true
+					break
+				}
+			}
+		}
+	}
+	for i := range keys {
+		if found[i] {
+			continue
+		}
+		v, err := m.Get(p, from, keys[i])
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[i] = v
+		found[i] = true
+	}
+	return vals, found, nil
+}
+
 // Contains reports whether the key is present.
 func (m *Map[K, V]) Contains(p *sim.Proc, from cluster.MachineID, key K) (bool, error) {
 	_, err := m.Get(p, from, key)

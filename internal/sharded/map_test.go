@@ -61,6 +61,59 @@ func TestMapPutGetDelete(t *testing.T) {
 	s.K.Run()
 }
 
+func TestMapGetBatch(t *testing.T) {
+	s := testSys(t)
+	m, err := NewMap[int, int](s, "map", Options{MaxShardBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.K.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			if err := m.Put(p, 0, i, i*10, 1<<9); err != nil {
+				t.Fatalf("Put(%d): %v", i, err)
+			}
+		}
+		if m.NumShards() < 2 {
+			t.Fatalf("want a multi-shard map, got %d shards", m.NumShards())
+		}
+		// A batch spanning every shard, with present, absent, and
+		// duplicate keys.
+		keys := []int{0, 7, 999, 42, 199, 7, -5}
+		vals, found, err := m.GetBatch(p, 0, keys)
+		if err != nil {
+			t.Fatalf("GetBatch: %v", err)
+		}
+		for i, k := range keys {
+			if k >= 0 && k < 200 {
+				if !found[i] || vals[i] != k*10 {
+					t.Errorf("key %d: found=%v val=%d, want %d", k, found[i], vals[i], k*10)
+				}
+			} else if found[i] {
+				t.Errorf("absent key %d reported found", k)
+			}
+		}
+		// Batch answers must match singleton Gets exactly.
+		all := make([]int, 200)
+		for i := range all {
+			all[i] = i
+		}
+		bvals, bfound, err := m.GetBatch(p, 0, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range all {
+			if !bfound[i] || bvals[i] != i*10 {
+				t.Fatalf("batch key %d: found=%v val=%d", i, bfound[i], bvals[i])
+			}
+		}
+		// Empty batch is a no-op.
+		if v, f, err := m.GetBatch(p, 0, nil); err != nil || len(v) != 0 || len(f) != 0 {
+			t.Errorf("empty batch: %v %v %v", v, f, err)
+		}
+	})
+	s.K.Run()
+}
+
 func TestMapSplitsUnderLoad(t *testing.T) {
 	s := testSys(t)
 	m, _ := NewMap[int, []byte](s, "map", Options{MaxShardBytes: 16 << 10})

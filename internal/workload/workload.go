@@ -22,12 +22,21 @@ import (
 // consumes Cores cores (modeled as a capacity reservation, which is
 // exactly how a high-priority app affects best-effort work), then
 // releases them.
+//
+// With Jitter > 0 each cycle's busy-window start shifts by a uniform
+// ±Jitter drawn from the injected Rng, desynchronizing a fleet of
+// antagonists the way real latency-critical apps desynchronize. The RNG
+// is always injected — never package-global — so a partitioned run that
+// seeds one RNG per shard replays the exact same interference pattern
+// at any worker count.
 type Antagonist struct {
 	Machine *cluster.Machine
 	Period  time.Duration
 	Busy    time.Duration
 	Offset  time.Duration // phase shift of the busy window
 	Cores   float64
+	Jitter  time.Duration // per-cycle uniform start jitter, 0 = none
+	Rng     *rand.Rand    // required when Jitter > 0
 
 	stopped bool
 }
@@ -38,6 +47,12 @@ func (a *Antagonist) Start(k *sim.Kernel) {
 	if a.Busy > a.Period {
 		panic("workload: antagonist busy window exceeds period")
 	}
+	if a.Jitter < 0 || a.Jitter > (a.Period-a.Busy)/2 {
+		panic("workload: antagonist jitter must be in [0, (period-busy)/2]")
+	}
+	if a.Jitter > 0 && a.Rng == nil {
+		panic("workload: jittered antagonist needs an injected *rand.Rand")
+	}
 	var cycle func()
 	at := sim.Time(0).Add(a.Offset)
 	cycle = func() {
@@ -45,14 +60,22 @@ func (a *Antagonist) Start(k *sim.Kernel) {
 			a.Machine.SetReserved(0)
 			return
 		}
-		a.Machine.SetReserved(a.Cores)
-		k.After(a.Busy, func() {
-			if a.stopped {
+		if a.Jitter > 0 {
+			// Uniform in [0, 2*Jitter): keeps the window inside the period.
+			start := k.Now().Add(time.Duration(a.Rng.Int63n(2 * int64(a.Jitter))))
+			k.Schedule(start, func() {
+				if a.stopped {
+					return
+				}
+				a.Machine.SetReserved(a.Cores)
+				k.After(a.Busy, func() { a.Machine.SetReserved(0) })
+			})
+		} else {
+			a.Machine.SetReserved(a.Cores)
+			k.After(a.Busy, func() {
 				a.Machine.SetReserved(0)
-				return
-			}
-			a.Machine.SetReserved(0)
-		})
+			})
+		}
 		at = at.Add(a.Period)
 		k.Schedule(at, cycle)
 	}

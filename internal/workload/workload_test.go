@@ -48,6 +48,54 @@ func TestAntagonistPhaseOffset(t *testing.T) {
 	}
 }
 
+func TestAntagonistJitterDeterministic(t *testing.T) {
+	// Same injected RNG seed → identical reservation timeline; jitter
+	// must never come from package-global randomness.
+	run := func(seed int64) []float64 {
+		k := sim.NewKernel(1)
+		m := cluster.NewMachine(k, 0, "m", cluster.MachineConfig{Cores: 8})
+		a := &Antagonist{Machine: m, Period: 20 * time.Millisecond, Busy: 8 * time.Millisecond,
+			Cores: 8, Jitter: 4 * time.Millisecond, Rng: rand.New(rand.NewSource(seed))}
+		a.Start(k)
+		var samples []float64
+		for at := sim.Time(time.Millisecond); at < sim.Time(200*time.Millisecond); at += sim.Time(time.Millisecond) {
+			k.Schedule(at, func() { samples = append(samples, m.Reserved()) })
+		}
+		k.Schedule(sim.Time(200*time.Millisecond), func() { a.Stop(); k.Stop() })
+		k.Run()
+		return samples
+	}
+	a1, a2, b := run(5), run(5), run(6)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different jitter timeline")
+		}
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter timeline (jitter inert?)")
+	}
+}
+
+func TestAntagonistJitterRequiresRng(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := cluster.NewMachine(k, 0, "m", cluster.MachineConfig{Cores: 8})
+	a := &Antagonist{Machine: m, Period: 20 * time.Millisecond, Busy: 8 * time.Millisecond,
+		Cores: 8, Jitter: 2 * time.Millisecond}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: jitter without injected RNG")
+		}
+	}()
+	a.Start(k)
+}
+
 func TestGenImagesDeterministicAndCalibrated(t *testing.T) {
 	g1 := GenImages(rand.New(rand.NewSource(7)), 1000, 1<<20, 100*time.Millisecond, 0.3)
 	g2 := GenImages(rand.New(rand.NewSource(7)), 1000, 1<<20, 100*time.Millisecond, 0.3)
