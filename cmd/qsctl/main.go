@@ -7,8 +7,17 @@
 // Usage:
 //
 //	qsctl [-scenario <name>] [-horizon-ms N] [-events] [-trace-out run.json]
-//	qsctl -scenario list
+//	qsctl -scenario list [-scenario-dir scenarios]
+//	qsctl run <file.yaml> [-seed N] [-par P] [-report out.json] [-trace-out out.txt] [-no-assert]
 //	qsctl analyze run.jsonl [-top N]
+//
+// `qsctl run` executes a declarative scenario file (see
+// internal/scenario and the scenarios/ library): a fleet spec, a
+// workload mix, a timed fault/load schedule, and assertions, compiled
+// onto the partitioned simulation kernel. The run is seeded and
+// deterministic — at a fixed seed the report is byte-identical at any
+// -par worker count. A failed assertion exits nonzero; -report writes
+// the machine-readable verdict.
 //
 // -trace-out enables causal span tracing and resource telemetry for
 // the run and writes the result to the given path: a .json file is
@@ -29,6 +38,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -40,6 +51,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/replication"
+	scen "repro/internal/scenario"
 	"repro/internal/sharded"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -98,10 +110,29 @@ func findScenario(name string) *scenario {
 	return nil
 }
 
-func listScenarios(w io.Writer) {
+func listScenarios(w io.Writer, dir string) {
 	fmt.Fprintln(w, "scenarios:")
 	for _, sc := range scenarios {
 		fmt.Fprintf(w, "  %-10s %s\n", sc.name, sc.desc)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.yaml"))
+	if len(files) == 0 {
+		return
+	}
+	sort.Strings(files)
+	fmt.Fprintf(w, "scenario files (%s/, for qsctl run):\n", dir)
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(w, "  %-28s (unreadable: %v)\n", filepath.Base(path), err)
+			continue
+		}
+		sp, err := scen.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(w, "  %-28s (parse error: %v)\n", filepath.Base(path), err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s %s\n", filepath.Base(path), sp.Description)
 	}
 }
 
@@ -115,6 +146,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "analyze" {
 		return runAnalyze(args[1:], stdout, stderr)
 	}
+	if len(args) > 0 && args[0] == "run" {
+		return runScenarioFile(args[1:], stdout, stderr)
+	}
 
 	fs := flag.NewFlagSet("qsctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -123,17 +157,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	events := fs.Bool("events", false, "dump the full event trace")
 	traceOut := fs.String("trace-out", "", "enable tracing+telemetry and write the run here (.json: Chrome trace-event; .jsonl: qsctl analyze input)")
 	samplePeriod := fs.Duration("sample-period", 250*time.Microsecond, "telemetry sampling cadence (with -trace-out)")
+	scenarioDir := fs.String("scenario-dir", "scenarios", "directory of scenario files to enumerate with -scenario list")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *scenarioName == "list" {
-		listScenarios(stdout)
+		listScenarios(stdout, *scenarioDir)
 		return 0
 	}
 	sc := findScenario(*scenarioName)
 	if sc == nil {
 		fmt.Fprintf(stderr, "qsctl: unknown scenario %q\n", *scenarioName)
-		listScenarios(stderr)
+		listScenarios(stderr, *scenarioDir)
 		return 2
 	}
 
@@ -204,6 +239,77 @@ func writeTrace(path string, sys *core.System) error {
 		return obs.WriteJSONL(f, sys.Obs, sys.Tel)
 	}
 	return obs.WriteChromeTrace(f, sys.Obs, sys.Tel)
+}
+
+// runScenarioFile implements `qsctl run <file.yaml>`: parse, execute at
+// the requested seed and worker count, print the deterministic report,
+// and exit nonzero when an assertion fails.
+func runScenarioFile(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qsctl run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 0, "seed override (0: the scenario's committed seed)")
+	par := fs.Int("par", 1, "host worker count (must not change the report bytes)")
+	report := fs.String("report", "", "write the machine-readable JSON verdict here")
+	traceOut := fs.String("trace-out", "", "write the merged control-plane trace here")
+	noAssert := fs.Bool("no-assert", false, "evaluate and print assertions but always exit 0 (for determinism sweeps at non-committed seeds)")
+	// Accept both `qsctl run file.yaml -seed 7` and `qsctl run -seed 7
+	// file.yaml`: the scenario file may come before the flags.
+	file := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		file, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case file == "" && fs.NArg() == 1:
+		file = fs.Arg(0)
+	case file != "" && fs.NArg() == 0:
+	default:
+		fmt.Fprintln(stderr, "usage: qsctl run <scenario.yaml> [-seed N] [-par P] [-report out.json] [-trace-out out.txt] [-no-assert]")
+		return 2
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(stderr, "qsctl: %v\n", err)
+		return 1
+	}
+	sp, err := scen.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "qsctl: %s: %v\n", file, err)
+		return 2
+	}
+	out, err := scen.Run(sp, scen.Options{Seed: *seed, Par: *par})
+	if err != nil {
+		fmt.Fprintf(stderr, "qsctl: %v\n", err)
+		return 1
+	}
+	out.WriteReport(stdout)
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintf(stderr, "qsctl: %v\n", err)
+			return 1
+		}
+		werr := out.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "qsctl: writing report: %v\n", werr)
+			return 1
+		}
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, []byte(strings.Join(out.Trace, "\n")+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "qsctl: writing trace: %v\n", err)
+			return 1
+		}
+	}
+	if !out.Pass && !*noAssert {
+		return 1
+	}
+	return 0
 }
 
 // runAnalyze implements `qsctl analyze run.jsonl`.

@@ -350,6 +350,16 @@ func (rs *replicaSet) shipBatch(p *sim.Proc, batch []repRecord, epoch uint64) {
 			return
 		}
 		if err != nil {
+			// A failed ship only convicts the backup while the primary
+			// itself is healthy. If the primary's machine died mid-ship,
+			// the invocation failure says nothing about the backup — and
+			// dropping it here would erase the very replica failover is
+			// about to promote. Abort the ship; the detector decides.
+			m := rs.rm.sys.Cluster.Machine(rs.primary.pr.Location())
+			if rs.primary.pr.State() != proclet.StateRunning || m == nil || m.Down() {
+				tr.End(sp)
+				return
+			}
 			rs.dropBackup(b, err)
 			continue
 		}

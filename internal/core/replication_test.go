@@ -358,3 +358,46 @@ func TestReplicatedTakeAndUpdateShipEffects(t *testing.T) {
 		t.Errorf("backup obj 1 = %d, want 15 (update's result must replicate)", v)
 	}
 }
+
+func TestPrimaryCrashMidShipKeepsBackupAndPromotes(t *testing.T) {
+	// A writer keeps writing straight through the crash instant, so a
+	// log ship is in flight from the primary's machine when it dies.
+	// The resulting apply failure ("source node is down") must not be
+	// blamed on the backup: dropping it would leave failover with no
+	// replica to promote and lose every acked write.
+	s, rm, in := replSystem(t, 0)
+	mp, err := NewMemoryProcletOn(s, "store", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Replicate(mp, 2); err != nil {
+		t.Fatal(err)
+	}
+	var acked []uint64
+	s.K.Spawn("writer", func(p *sim.Proc) {
+		for i := uint64(1); p.Now() < sim.Time(4*time.Millisecond); i++ {
+			if err := mp.Put(p, 3, i, int(i), 64); err == nil {
+				acked = append(acked, i)
+			}
+		}
+	})
+	in.Install(fault.Schedule{{At: sim.Time(2 * time.Millisecond), Op: fault.OpCrash, A: 1}})
+	s.K.RunUntil(sim.Time(50 * time.Millisecond))
+
+	if rm.Promotions.Value() != 1 {
+		t.Fatalf("Promotions = %d, want 1 (backup must survive the primary's mid-ship crash)",
+			rm.Promotions.Value())
+	}
+	var lost int
+	s.K.Spawn("verify", func(p *sim.Proc) {
+		for _, k := range acked {
+			if v, err := mp.Get(p, 3, k); err != nil || v.(int) != int(k) {
+				lost++
+			}
+		}
+	})
+	s.K.RunUntil(sim.Time(100 * time.Millisecond))
+	if lost > 0 {
+		t.Errorf("%d of %d acked writes lost after failover", lost, len(acked))
+	}
+}

@@ -1,0 +1,680 @@
+package scenario
+
+// The scenario engine: compile a validated Spec onto the partitioned
+// simulation kernel and drive it to completion. Each fleet shard gets
+// its own core.System, store proclets, open-loop load.Injector, fault
+// injector, and server pool — the same shapes as the hand-coded
+// internal/experiments drivers, but assembled from data.
+//
+// Determinism contract: a run at a fixed seed produces byte-identical
+// reports at any host worker count. Everything in Outcome is derived
+// from kernel-ordered integers (counts, histogram buckets, virtual
+// timestamps); golden records are only walked via sorted keys; shard
+// results merge in fixed shard order; wall-clock never appears.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/load"
+	"repro/internal/metrics"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options are the per-invocation knobs that do not change the
+// scenario's identity: which seed to run and how many host workers to
+// use. Neither may leak into the report (Seed is echoed deliberately;
+// Par must not be).
+type Options struct {
+	Seed int64 // 0 → the spec's committed seed
+	Par  int   // host worker count; <=0 → 1
+}
+
+// AssertResult is one evaluated assertion.
+type AssertResult struct {
+	Metric string  `json:"metric"`
+	Op     string  `json:"op"`
+	Bound  float64 `json:"bound"`
+	Got    float64 `json:"got"`
+	Pass   bool    `json:"pass"`
+}
+
+// Outcome is everything a finished run produced: the full metric set,
+// the merged latency histogram, per-assertion verdicts, and the merged
+// control-plane trace.
+type Outcome struct {
+	Spec    *Spec
+	Seed    int64
+	Metrics map[string]float64
+	Hist    *metrics.LogHistogram
+	Asserts []AssertResult
+	Pass    bool
+	Trace   []string
+}
+
+// injWindows sizes the injector batch window in lookahead units, as in
+// the ext-serve experiment (125 x 2us lookahead = 250us windows).
+const injWindows = 125
+
+// verifyChunk bounds ids per read-back GetBatch during verification.
+const verifyChunk = 64
+
+// serverPoll is the server idle-queue poll interval.
+const serverPoll = 20 * time.Microsecond
+
+// mst converts scenario milliseconds to virtual time.
+func mst(ms float64) sim.Time { return sim.Time(ms * 1e6) }
+
+// msd converts scenario milliseconds to a duration.
+func msd(ms float64) time.Duration { return time.Duration(ms * 1e6) }
+
+// writeVal is the value stored under an object id — a pure function of
+// the id, so replays, rebuilds, and verification all agree without
+// coordination.
+func writeVal(id uint64) int64 { return int64(id ^ 0x9e3779b97f4a7c15) }
+
+// shardState is one shard's mutable run state. Written only in shard
+// context (procs on that shard's kernel), read host-side after the run.
+type shardState struct {
+	sys    *core.System
+	rm     *core.ReplManager
+	in     *fault.Injector
+	stores []*core.MemoryProclet
+	golden []map[uint64]struct{}
+	inj    *load.Injector
+
+	queue []load.Request
+	qhead int
+
+	served   uint64
+	timeouts uint64
+	errs     uint64
+	acked    uint64
+	lost     int64
+	migOK    int64
+	startNS  int64
+	hist     *metrics.LogHistogram
+	good     []int64 // goodput buckets: on-deadline completions by completion time
+	done     bool
+}
+
+// Run executes the scenario and evaluates its assertions. The returned
+// error covers run-level failures (a wedged shard); assertion failures
+// land in Outcome.Pass, not the error.
+func Run(sp *Spec, opt Options) (*Outcome, error) {
+	seed := opt.Seed
+	if seed == 0 {
+		seed = sp.Seed
+	}
+	par := opt.Par
+	if par <= 0 {
+		par = 1
+	}
+	f, w := sp.Fleet, sp.Workload
+	horizon := mst(sp.HorizonMS)
+	drain := mst(sp.DrainMS)
+	deadline := int64(w.DeadlineUS * 1e3)
+	bucketNS := int64(sp.BucketMS * 1e6)
+	nBuckets := int((int64(horizon)+int64(drain))/bucketNS) + 2
+
+	lookahead := sim.Time(core.DefaultConfig().Net.Latency.Nanoseconds())
+	pk := sim.NewParKernel(seed, f.Shards, lookahead)
+	defer pk.Close()
+	pk.SetWorkers(par)
+	injWindow := time.Duration(lookahead) * injWindows
+
+	machines := make([]cluster.MachineConfig, f.Machines)
+	for i := range machines {
+		machines[i] = cluster.MachineConfig{Cores: float64(f.Cores), MemBytes: f.MemMB << 20}
+	}
+
+	// One zeta precompute per tenant serves every shard.
+	zipfs := make([]*load.Zipf, len(w.Tenants))
+	for i, t := range w.Tenants {
+		zipfs[i] = load.NewZipf(t.Keys, t.Zipf)
+	}
+
+	// Compile the event schedule into per-shard fault schedules, spike
+	// multipliers per tenant, and per-shard migration lists.
+	type migration struct {
+		at    sim.Time
+		store int // shard-local store index
+		to    int // shard-local machine
+	}
+	faults := make([]fault.Schedule, f.Shards)
+	migs := make([][]migration, f.Shards)
+	spikes := make(map[string][]func(sim.Time) float64)
+	for _, ev := range sp.Events {
+		at := mst(ev.AtMS)
+		switch ev.Kind {
+		case KindCrash, KindRestart:
+			s := ev.Machine / f.Machines
+			op := fault.OpCrash
+			if ev.Kind == KindRestart {
+				op = fault.OpRestart
+			}
+			faults[s] = append(faults[s], fault.Event{
+				At: at, Op: op, A: cluster.MachineID(ev.Machine % f.Machines)})
+		case KindPartition, KindDegrade, KindHeal:
+			s := ev.A / f.Machines
+			op := fault.OpPartition
+			switch ev.Kind {
+			case KindDegrade:
+				op = fault.OpDegrade
+			case KindHeal:
+				op = fault.OpHeal
+			}
+			faults[s] = append(faults[s], fault.Event{
+				At: at, Op: op,
+				A:     cluster.MachineID(ev.A % f.Machines),
+				B:     cluster.MachineID(ev.B % f.Machines),
+				Extra: time.Duration(ev.ExtraUS * 1e3),
+				Drop:  ev.Drop,
+			})
+		case KindSpike:
+			spikes[ev.Tenant] = append(spikes[ev.Tenant],
+				load.Spike(at, msd(ev.RampMS), msd(ev.HoldMS), msd(ev.DecayMS), ev.Mult))
+		case KindMigrate:
+			s := ev.Store / w.Stores
+			migs[s] = append(migs[s], migration{
+				at: at, store: ev.Store % w.Stores, to: ev.To % f.Machines})
+		}
+	}
+
+	shards := make([]*shardState, f.Shards)
+	for s := 0; s < f.Shards; s++ {
+		sysCfg := core.DefaultConfig()
+		sysCfg.Seed = seed + int64(s)
+		sys := core.NewSystemOnKernel(pk.Shard(s), sysCfg, machines)
+		shards[s] = &shardState{
+			sys:  sys,
+			hist: metrics.NewLogHistogram(fmt.Sprintf("s%d.lat", s)),
+			good: make([]int64, nBuckets),
+		}
+	}
+
+	for s := 0; s < f.Shards; s++ {
+		s := s
+		st := shards[s]
+		k := pk.Shard(s)
+		st.sys.Start()
+
+		// The fault plane is installed on every shard — even those with no
+		// scheduled faults — so RPC timeout behavior is uniform fleet-wide.
+		st.in = fault.New(k, st.sys.Cluster, st.sys.Trace)
+		st.sys.AttachInjector(st.in)
+		if w.RF >= 2 {
+			st.rm = st.sys.EnableReplicationPlane(replication.Config{}, 0)
+		}
+
+		// Stores round-robin over machines 1..Machines-1; machine 0 is the
+		// shard front end (servers + failure-detector monitor).
+		st.stores = make([]*core.MemoryProclet, w.Stores)
+		st.golden = make([]map[uint64]struct{}, w.Stores)
+		for i := range st.stores {
+			mid := cluster.MachineID(1 + i%(f.Machines-1))
+			mp, err := core.NewMemoryProcletOn(st.sys, fmt.Sprintf("s%d-store-%d", s, i), mid)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: shard %d store %d: %w", sp.Name, s, i, err)
+			}
+			st.stores[i] = mp
+			st.golden[i] = make(map[uint64]struct{}, w.Objects)
+			for id := 0; id < w.Objects; id++ {
+				st.golden[i][uint64(id)] = struct{}{}
+			}
+			if w.RF >= 2 {
+				if err := st.rm.Replicate(mp, w.RF); err != nil {
+					return nil, fmt.Errorf("scenario %q: replicate shard %d store %d: %w", sp.Name, s, i, err)
+				}
+			}
+		}
+		if w.RF == 1 && w.Rebuild {
+			st.sys.SetRebuilder(func(p *sim.Proc, mp *core.MemoryProclet) error {
+				for i, sp2 := range st.stores {
+					if sp2.ID() != mp.ID() {
+						continue
+					}
+					keys := sortedKeys(st.golden[i])
+					ids := make([]uint64, len(keys))
+					vals := make([]any, len(keys))
+					sizes := make([]int64, len(keys))
+					for j, kk := range keys {
+						ids[j], vals[j], sizes[j] = kk, writeVal(kk), w.ObjectBytes
+					}
+					return mp.PutBatch(p, 0, ids, vals, sizes)
+				}
+				return nil
+			})
+		}
+		st.in.Install(faults[s])
+
+		// The shard's open-loop arrival stream: each tenant's fleet rate is
+		// split evenly across shards, spike events multiply onto the base
+		// curve, and the whole thing is pre-sampled into a piecewise curve.
+		st.inj = load.NewInjector(k, injWindow, func(r load.Request) {
+			st.queue = append(st.queue, r)
+		})
+		for ti, t := range w.Tenants {
+			per := t.Rate / float64(f.Shards)
+			var base func(sim.Time) float64
+			switch t.Curve {
+			case "diurnal":
+				base = load.Diurnal(per, t.Amp, msd(t.PeriodMS))
+			case "ramp":
+				base = load.Ramp(per, t.To/float64(f.Shards), msd(t.OverMS))
+			default:
+				base = func(sim.Time) float64 { return per }
+			}
+			mults := spikes[t.Name]
+			rate := base
+			if len(mults) > 0 {
+				rate = func(at sim.Time) float64 {
+					v := base(at)
+					for _, m := range mults {
+						v *= m(at)
+					}
+					return v
+				}
+			}
+			st.inj.AddTenant(t.Name, load.Sampled(horizon, msd(w.SampleStepMS), rate), zipfs[ti])
+		}
+
+		// Preload, then start injection at a deterministic virtual instant.
+		k.Spawn(fmt.Sprintf("s%d-setup", s), func(p *sim.Proc) {
+			ids := make([]uint64, w.Objects)
+			vals := make([]any, w.Objects)
+			sizes := make([]int64, w.Objects)
+			for i := range ids {
+				ids[i] = uint64(i)
+				vals[i] = writeVal(uint64(i))
+				sizes[i] = w.ObjectBytes
+			}
+			for _, mp := range st.stores {
+				if err := mp.PutBatch(p, 0, ids, vals, sizes); err != nil {
+					panic(fmt.Sprintf("scenario preload: %v", err))
+				}
+			}
+			st.startNS = int64(p.Now())
+			st.inj.Start(p.Now(), horizon)
+		})
+
+		// Server pool: batched fan-in per store, reads via GetBatch and
+		// writes via PutBatch. A request is a write iff its key falls in
+		// the write fraction; writes land under scrambled keys and join the
+		// golden record on ack.
+		var wg sim.WaitGroup
+		writeCut := uint64(w.WriteFrac * 1000)
+		for srv := 0; srv < w.Servers; srv++ {
+			wg.Add(1)
+			k.Spawn(fmt.Sprintf("s%d-server-%d", s, srv), func(p *sim.Proc) {
+				defer wg.Done()
+				readIDs := make([][]uint64, w.Stores)
+				writeIDs := make([][]uint64, w.Stores)
+				batch := make([]load.Request, 0, w.BatchMax)
+				for {
+					if st.qhead == len(st.queue) {
+						if p.Now() >= horizon {
+							return
+						}
+						p.Sleep(serverPoll)
+						continue
+					}
+					n := len(st.queue) - st.qhead
+					if n > w.BatchMax {
+						n = w.BatchMax
+					}
+					batch = append(batch[:0], st.queue[st.qhead:st.qhead+n]...)
+					st.qhead += n
+					for i := range readIDs {
+						readIDs[i] = readIDs[i][:0]
+						writeIDs[i] = writeIDs[i][:0]
+					}
+					for _, r := range batch {
+						si := int(r.Key % uint64(w.Stores))
+						if r.Key%1000 < writeCut {
+							writeIDs[si] = append(writeIDs[si], load.ScrambleKey(r.Key))
+						} else {
+							readIDs[si] = append(readIDs[si], r.Key%uint64(w.Objects))
+						}
+					}
+					for si := range st.stores {
+						if ids := readIDs[si]; len(ids) > 0 {
+							if _, _, err := st.stores[si].GetBatch(p, 0, ids); err != nil {
+								st.errs += uint64(len(ids))
+							}
+						}
+						if ids := writeIDs[si]; len(ids) > 0 {
+							vals := make([]any, len(ids))
+							sizes := make([]int64, len(ids))
+							for j, id := range ids {
+								vals[j] = writeVal(id)
+								sizes[j] = w.ObjectBytes
+							}
+							if err := st.stores[si].PutBatch(p, 0, ids, vals, sizes); err != nil {
+								st.errs += uint64(len(ids))
+							} else {
+								for _, id := range ids {
+									st.golden[si][id] = struct{}{}
+								}
+								st.acked += uint64(len(ids))
+							}
+						}
+					}
+					now := p.Now()
+					for _, r := range batch {
+						lat := int64(now - r.At)
+						st.hist.Record(lat)
+						st.served++
+						if lat > deadline {
+							st.timeouts++
+						} else {
+							bi := int(int64(now) / bucketNS)
+							if bi >= len(st.good) {
+								bi = len(st.good) - 1
+							}
+							st.good[bi]++
+						}
+					}
+				}
+			})
+		}
+
+		// Timed migrations ride their own sleeper procs.
+		for mi, m := range migs[s] {
+			m := m
+			k.Spawn(fmt.Sprintf("s%d-migrate-%d", s, mi), func(p *sim.Proc) {
+				p.Sleep(time.Duration(m.at))
+				if err := st.sys.Runtime.Migrate(p, st.stores[m.store].ID(), cluster.MachineID(m.to)); err == nil {
+					st.migOK++
+				}
+			})
+		}
+
+		// Durability verification: once the servers drain, read back every
+		// golden key (sorted, chunked) and count what the fleet lost.
+		k.Spawn(fmt.Sprintf("s%d-verify", s), func(p *sim.Proc) {
+			wg.Wait(p)
+			for si, mp := range st.stores {
+				keys := sortedKeys(st.golden[si])
+				for off := 0; off < len(keys); off += verifyChunk {
+					end := off + verifyChunk
+					if end > len(keys) {
+						end = len(keys)
+					}
+					chunk := keys[off:end]
+					ids, vals, err := mp.GetBatch(p, 0, chunk)
+					if err != nil {
+						st.lost += int64(len(chunk))
+						continue
+					}
+					got := make(map[uint64]int64, len(ids))
+					for j, id := range ids {
+						if v, ok := vals[j].(int64); ok {
+							got[id] = v
+						}
+					}
+					for _, id := range chunk {
+						if v, ok := got[id]; !ok || v != writeVal(id) {
+							st.lost++
+						}
+					}
+				}
+			}
+			st.done = true
+		})
+	}
+
+	pk.RunUntil(horizon + drain)
+
+	for s, st := range shards {
+		if !st.done {
+			return nil, fmt.Errorf("scenario %q: shard %d did not drain by %v (%d served of %d generated) — raise drain_ms or heal the fleet before the horizon",
+				sp.Name, s, horizon+drain, st.served, st.inj.TotalGenerated())
+		}
+	}
+
+	return collect(sp, seed, pk, shards, bucketNS)
+}
+
+// collect folds per-shard state into the Outcome, in fixed shard order.
+func collect(sp *Spec, seed int64, pk *sim.ParKernel, shards []*shardState, bucketNS int64) (*Outcome, error) {
+	var generated, served, timeouts, errs, acked uint64
+	var lost, migOK, crashes, restarts, partitions, degrades, heals, promotions, recoveries int64
+	var events uint64
+	startNS := int64(0)
+	hist := metrics.NewLogHistogram("latency")
+	good := make([]int64, len(shards[0].good))
+	for s, st := range shards {
+		generated += st.inj.TotalGenerated()
+		served += st.served
+		timeouts += st.timeouts
+		errs += st.errs
+		acked += st.acked
+		lost += st.lost
+		migOK += st.migOK
+		crashes += st.in.Crashes.Value()
+		restarts += st.in.Restarts.Value()
+		partitions += st.in.Partitions.Value()
+		degrades += st.in.Degrades.Value()
+		heals += st.in.Heals.Value()
+		if st.rm != nil {
+			promotions += st.rm.Promotions.Value()
+		}
+		recoveries += st.sys.Sched.Recoveries.Value()
+		if st.startNS > startNS {
+			startNS = st.startNS
+		}
+		events += pk.Shard(s).EventsProcessed()
+		hist.Merge(st.hist)
+		for i, v := range st.good {
+			good[i] += v
+		}
+	}
+
+	horizon := int64(mst(sp.HorizonMS))
+	durS := float64(horizon-startNS) / 1e9
+	goodput := 0.0
+	if durS > 0 {
+		goodput = float64(served-timeouts) / durS
+	}
+	timeoutFrac := 0.0
+	if served > 0 {
+		timeoutFrac = float64(timeouts) / float64(served)
+	}
+
+	m := map[string]float64{
+		"generated":    float64(generated),
+		"served":       float64(served),
+		"timeouts":     float64(timeouts),
+		"timeout_frac": timeoutFrac,
+		"errors":       float64(errs),
+		"goodput_rps":  goodput,
+		"p50_ms":       hist.QuantileMS(0.50),
+		"p99_ms":       hist.QuantileMS(0.99),
+		"p999_ms":      hist.QuantileMS(0.999),
+		"max_ms":       float64(hist.Max()) / 1e6,
+		"mean_ms":      hist.Mean() / 1e6,
+		"acked_writes": float64(acked),
+		"lost":         float64(lost),
+		"crashes":      float64(crashes),
+		"restarts":     float64(restarts),
+		"partitions":   float64(partitions),
+		"degrades":     float64(degrades),
+		"heals":        float64(heals),
+		"promotions":   float64(promotions),
+		"recoveries":   float64(recoveries),
+		"migrations":   float64(migOK),
+		"recovery_ms":  recoveryMS(sp, good, bucketNS, startNS, horizon),
+		"events":       float64(events),
+		"windows":      float64(pk.Windows()),
+	}
+
+	out := &Outcome{Spec: sp, Seed: seed, Metrics: m, Hist: hist, Pass: true}
+	for _, a := range sp.Asserts {
+		got := m[a.Metric]
+		ok := evalOp(got, a.Op, a.Value)
+		out.Asserts = append(out.Asserts, AssertResult{
+			Metric: a.Metric, Op: a.Op, Bound: a.Value, Got: got, Pass: ok})
+		if !ok {
+			out.Pass = false
+		}
+	}
+	logs := make([]*trace.Log, len(shards))
+	for s, st := range shards {
+		logs[s] = st.sys.Trace
+	}
+	for _, e := range trace.Merge(logs...).Events() {
+		out.Trace = append(out.Trace, e.String())
+	}
+	return out, nil
+}
+
+// recoveryMS measures how long after the last scheduled disturbance
+// goodput regained RecoveryFrac of its pre-event baseline. 0 when the
+// scenario has no events or no measurable baseline; NeverRecovered when
+// no in-horizon bucket after the last event reaches the threshold.
+func recoveryMS(sp *Spec, good []int64, bucketNS, startNS, horizon int64) float64 {
+	if len(sp.Events) == 0 {
+		return 0
+	}
+	firstNS := int64(mst(sp.Events[0].AtMS))
+	lastEnd := int64(0)
+	for _, ev := range sp.Events {
+		if e := int64(mst(ev.EndMS())); e > lastEnd {
+			lastEnd = e
+		}
+	}
+	var sum int64
+	var n int
+	for i := range good {
+		bs, be := int64(i)*bucketNS, int64(i+1)*bucketNS
+		if bs >= startNS+bucketNS && be <= firstNS {
+			sum += good[i]
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	threshold := sp.RecoveryFrac * float64(sum) / float64(n)
+	for i := range good {
+		bs, be := int64(i)*bucketNS, int64(i+1)*bucketNS
+		if bs < lastEnd || be > horizon {
+			continue
+		}
+		if float64(good[i]) >= threshold {
+			return float64(bs-lastEnd) / 1e6
+		}
+	}
+	return NeverRecovered
+}
+
+func evalOp(got float64, op string, bound float64) bool {
+	switch op {
+	case "==":
+		return got == bound
+	case "!=":
+		return got != bound
+	case "<":
+		return got < bound
+	case "<=":
+		return got <= bound
+	case ">":
+		return got > bound
+	case ">=":
+		return got >= bound
+	}
+	return false
+}
+
+// fmtMetric renders a metric value for the human report. Counts print
+// as integers; NeverRecovered prints as "never".
+func fmtMetric(name string, v float64) string {
+	if name == "recovery_ms" && v >= NeverRecovered {
+		return "never"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// WriteReport renders the deterministic human-readable report: spec
+// echo, the full metric set in fixed order, and per-assertion verdicts.
+func (o *Outcome) WriteReport(w io.Writer) {
+	f, wl := o.Spec.Fleet, o.Spec.Workload
+	fmt.Fprintf(w, "scenario %s (seed %d)\n", o.Spec.Name, o.Seed)
+	if o.Spec.Description != "" {
+		fmt.Fprintf(w, "  %s\n", o.Spec.Description)
+	}
+	fmt.Fprintf(w, "fleet: %d shards x %d machines = %d machines; %d stores rf=%d + %d servers per shard\n",
+		f.Shards, f.Machines, f.Shards*f.Machines, wl.Stores, wl.RF, wl.Servers)
+	fmt.Fprintf(w, "horizon %gms, drain %gms, %d tenants, %d events, %d assertions\n",
+		o.Spec.HorizonMS, o.Spec.DrainMS, len(wl.Tenants), len(o.Spec.Events), len(o.Spec.Asserts))
+	for _, ev := range o.Spec.Events {
+		fmt.Fprintf(w, "  event: %s\n", ev)
+	}
+	fmt.Fprintf(w, "latency: %s\n", o.Hist.String())
+	for _, name := range MetricNames {
+		fmt.Fprintf(w, "  %-12s %s\n", name, fmtMetric(name, o.Metrics[name]))
+	}
+	for _, a := range o.Asserts {
+		verdict := "PASS"
+		if !a.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "assert %s: %s %s %s (got %s)\n",
+			verdict, a.Metric, a.Op, fmtMetric(a.Metric, a.Bound), fmtMetric(a.Metric, a.Got))
+	}
+	if o.Pass {
+		fmt.Fprintf(w, "RESULT PASS: %d/%d assertions hold (%d kernel events)\n",
+			len(o.Asserts), len(o.Asserts), uint64(o.Metrics["events"]))
+	} else {
+		failed := 0
+		for _, a := range o.Asserts {
+			if !a.Pass {
+				failed++
+			}
+		}
+		fmt.Fprintf(w, "RESULT FAIL: %d/%d assertions violated (%d kernel events)\n",
+			failed, len(o.Asserts), uint64(o.Metrics["events"]))
+	}
+}
+
+// jsonReport is the machine-readable failure report shape.
+type jsonReport struct {
+	Scenario   string             `json:"scenario"`
+	Seed       int64              `json:"seed"`
+	Pass       bool               `json:"pass"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Assertions []AssertResult     `json:"assertions"`
+}
+
+// WriteJSON writes the machine-readable report (metrics keys sorted by
+// the marshaler, so the bytes are deterministic).
+func (o *Outcome) WriteJSON(w io.Writer) error {
+	asserts := o.Asserts
+	if asserts == nil {
+		asserts = []AssertResult{}
+	}
+	b, err := json.MarshalIndent(jsonReport{
+		Scenario:   o.Spec.Name,
+		Seed:       o.Seed,
+		Pass:       o.Pass,
+		Metrics:    o.Metrics,
+		Assertions: asserts,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

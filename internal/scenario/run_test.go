@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const smoke = `name: smoke
+horizon_ms: 4
+fleet:
+  shards: 2
+  machines: 3
+workload:
+  stores: 2
+  objects: 48
+  write_frac: 0.2
+  tenants:
+    - name: web
+      rate: 60000
+assertions:
+  - metric: lost
+    op: ==
+    value: 0
+  - metric: generated
+    op: ">"
+    value: 100
+`
+
+func mustRun(t *testing.T, src string, opt Options) *Outcome {
+	t.Helper()
+	sp, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunSmokeDeterministic runs the same scenario three times — twice
+// at one worker, once at four — and requires byte-identical reports:
+// the DSL's central contract is that a (scenario, seed) pair names one
+// exact execution regardless of parallelism.
+func TestRunSmokeDeterministic(t *testing.T) {
+	var reports [3]bytes.Buffer
+	for i, par := range []int{1, 1, 4} {
+		out := mustRun(t, smoke, Options{Par: par})
+		if !out.Pass {
+			t.Fatalf("run %d: assertions failed:\n%+v", i, out.Asserts)
+		}
+		out.WriteReport(&reports[i])
+	}
+	if !bytes.Equal(reports[0].Bytes(), reports[1].Bytes()) {
+		t.Error("same seed, same workers: reports differ")
+	}
+	if !bytes.Equal(reports[0].Bytes(), reports[2].Bytes()) {
+		t.Error("par=1 and par=4 reports differ; worker count leaked into the simulation")
+	}
+}
+
+func TestRunSeedChangesOutcome(t *testing.T) {
+	a := mustRun(t, smoke, Options{Seed: 1})
+	b := mustRun(t, smoke, Options{Seed: 2})
+	if a.Seed != 1 || b.Seed != 2 {
+		t.Fatalf("seeds = %d, %d", a.Seed, b.Seed)
+	}
+	if a.Metrics["generated"] == b.Metrics["generated"] &&
+		a.Metrics["p99_ms"] == b.Metrics["p99_ms"] {
+		t.Error("seeds 1 and 2 produced identical arrivals and tail; seed is not reaching the run")
+	}
+}
+
+// TestFailingAssertionReported: an unsatisfiable bound must flip the
+// outcome to fail and carry the observed value in the result row.
+func TestFailingAssertionReported(t *testing.T) {
+	src := strings.Replace(smoke, "    value: 100\n", "    value: 1000000000\n", 1)
+	out := mustRun(t, src, Options{})
+	if out.Pass {
+		t.Fatal("outcome passed despite impossible generated > 1e9 bound")
+	}
+	var failed *AssertResult
+	for i := range out.Asserts {
+		if !out.Asserts[i].Pass {
+			failed = &out.Asserts[i]
+		}
+	}
+	if failed == nil {
+		t.Fatal("no failing AssertResult recorded")
+	}
+	if failed.Metric != "generated" || failed.Got <= 0 || failed.Got >= 1e9 {
+		t.Errorf("failing row = %+v, want generated with the observed count", *failed)
+	}
+	var rep bytes.Buffer
+	out.WriteReport(&rep)
+	if !strings.Contains(rep.String(), "assert FAIL: generated > 1000000000") {
+		t.Errorf("report missing FAIL line:\n%s", rep.String())
+	}
+	if !strings.Contains(rep.String(), "RESULT FAIL") {
+		t.Errorf("report missing RESULT FAIL summary:\n%s", rep.String())
+	}
+}
+
+// TestCrashWithoutRebuildLosesData: at rf=1 with no rebuilder and no
+// restart, a crashed store's objects must be reported lost — the
+// verifier is real, not cosmetic.
+func TestCrashWithoutRebuildLosesData(t *testing.T) {
+	src := `name: lossy
+horizon_ms: 6
+fleet:
+  machines: 3
+workload:
+  stores: 2
+  objects: 32
+  write_frac: 0.2
+  tenants:
+    - name: web
+      rate: 40000
+events:
+  - at_ms: 2
+    kind: crash
+    machine: 1
+`
+	out := mustRun(t, src, Options{})
+	if out.Metrics["lost"] == 0 {
+		t.Error("crashed rf=1 store with no rebuild reported zero loss")
+	}
+	if out.Metrics["crashes"] != 1 {
+		t.Errorf("crashes = %g, want 1", out.Metrics["crashes"])
+	}
+}
+
+// TestRebuildRecoversData is the converse: the same crash with the
+// rebuild fallback enabled must end with nothing lost.
+func TestRebuildRecoversData(t *testing.T) {
+	src := `name: rebuilt
+horizon_ms: 8
+fleet:
+  machines: 3
+workload:
+  stores: 2
+  rebuild: true
+  objects: 32
+  write_frac: 0.2
+  tenants:
+    - name: web
+      rate: 40000
+events:
+  - at_ms: 2
+    kind: crash
+    machine: 1
+  - at_ms: 4
+    kind: restart
+    machine: 1
+`
+	out := mustRun(t, src, Options{})
+	if out.Metrics["lost"] != 0 {
+		t.Errorf("lost = %g with rebuild enabled, want 0", out.Metrics["lost"])
+	}
+	if out.Metrics["recoveries"] < 1 {
+		t.Errorf("recoveries = %g, want >= 1", out.Metrics["recoveries"])
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	out := mustRun(t, smoke, Options{})
+	var buf bytes.Buffer
+	if err := out.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Scenario   string             `json:"scenario"`
+		Seed       int64              `json:"seed"`
+		Pass       bool               `json:"pass"`
+		Metrics    map[string]float64 `json:"metrics"`
+		Assertions []AssertResult     `json:"assertions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Scenario != "smoke" || !doc.Pass || len(doc.Assertions) != 2 {
+		t.Errorf("unexpected JSON report: %+v", doc)
+	}
+	for _, name := range MetricNames {
+		if _, ok := doc.Metrics[name]; !ok {
+			t.Errorf("JSON metrics missing %q", name)
+		}
+	}
+}
+
+func TestOptionsSeedZeroUsesSpecSeed(t *testing.T) {
+	src := strings.Replace(smoke, "name: smoke\n", "name: smoke\nseed: 7\n", 1)
+	out := mustRun(t, src, Options{})
+	if out.Seed != 7 {
+		t.Errorf("seed = %d, want committed spec seed 7", out.Seed)
+	}
+}

@@ -1,0 +1,695 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Spec is one fully decoded, validated scenario: a fleet, a workload
+// mix, a timed event schedule, and declarative assertions over the
+// run's measured metrics.
+type Spec struct {
+	Name         string
+	Description  string
+	Seed         int64   // committed seed; qsctl run -seed overrides
+	HorizonMS    float64 // virtual run length
+	BucketMS     float64 // goodput bucket width (default horizon/40)
+	DrainMS      float64 // post-horizon drain+verify window (default max(6, horizon/2))
+	RecoveryFrac float64 // goodput fraction of baseline that counts as recovered
+
+	Fleet    Fleet
+	Workload Workload
+	Events   []Event
+	Asserts  []Assertion
+}
+
+// Fleet shapes the simulated cluster: Shards independent kernel shards
+// of Machines machines each. Machine 0 of every shard is the front end
+// (servers, failure-detector monitor) and cannot be crashed.
+type Fleet struct {
+	Shards   int
+	Machines int // per shard
+	Cores    int
+	MemMB    int64
+}
+
+// Workload is the serving mix driven against the fleet: preloaded
+// stores, an open-loop multi-tenant request stream, and a write
+// fraction that makes durability observable.
+type Workload struct {
+	Stores       int  // memory proclets per shard, on machines 1..Machines-1
+	RF           int  // replication factor; 1 = unreplicated
+	Rebuild      bool // RF=1 only: rebuild crash-lost contents from the golden record
+	Objects      int  // preloaded objects per store
+	ObjectBytes  int64
+	WriteFrac    float64 // fraction of requests that are writes
+	Servers      int     // server procs per shard, on machine 0
+	BatchMax     int
+	DeadlineUS   float64 // latency deadline; beyond it a request is a timeout
+	SampleStepMS float64 // rate-curve discretization step
+	Tenants      []Tenant
+}
+
+// Tenant is one aggregate client population: a rate curve over the
+// horizon and a Zipfian key popularity.
+type Tenant struct {
+	Name     string
+	Rate     float64 // aggregate req/s across the whole fleet
+	Curve    string  // constant | diurnal | ramp
+	Amp      float64 // diurnal amplitude in [0,1]
+	PeriodMS float64 // diurnal period
+	To       float64 // ramp target rate
+	OverMS   float64 // ramp duration
+	Zipf     float64 // Zipfian skew theta
+	Keys     uint64  // keyspace size
+}
+
+// EventKind enumerates the timed operations a scenario can schedule.
+type EventKind int
+
+// Event kinds. Fault kinds compile onto the per-shard fault.Injector;
+// spike folds into the tenant's rate curve; migrate compiles to a
+// timed proclet migration.
+const (
+	KindCrash EventKind = iota
+	KindRestart
+	KindPartition
+	KindDegrade
+	KindHeal
+	KindSpike
+	KindMigrate
+)
+
+var kindNames = []string{"crash", "restart", "partition", "degrade", "heal", "spike", "migrate"}
+
+func (k EventKind) String() string { return kindNames[k] }
+
+// Event is one timed operation. Machine, A, B, Store, and To are
+// global indices: machine g lives on shard g/Fleet.Machines as local
+// machine g%Fleet.Machines, store s on shard s/Workload.Stores.
+type Event struct {
+	AtMS float64
+	Kind EventKind
+	Line int
+
+	Machine int // crash, restart
+
+	A, B    int     // partition, degrade, heal
+	ExtraUS float64 // degrade: added latency
+	Drop    float64 // degrade: drop probability
+
+	Tenant  string  // spike
+	Mult    float64 // spike multiplier
+	RampMS  float64
+	HoldMS  float64
+	DecayMS float64
+
+	Store int // migrate: global store index
+	To    int // migrate: global destination machine
+}
+
+// EndMS is when the event's disturbance is over: the instant itself,
+// except spikes which run at+ramp+hold+decay.
+func (e Event) EndMS() float64 {
+	if e.Kind == KindSpike {
+		return e.AtMS + e.RampMS + e.HoldMS + e.DecayMS
+	}
+	return e.AtMS
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KindCrash, KindRestart:
+		return fmt.Sprintf("%s m%d @%gms", e.Kind, e.Machine, e.AtMS)
+	case KindPartition, KindHeal:
+		return fmt.Sprintf("%s m%d-m%d @%gms", e.Kind, e.A, e.B, e.AtMS)
+	case KindDegrade:
+		return fmt.Sprintf("degrade m%d-m%d +%gus drop=%g @%gms", e.A, e.B, e.ExtraUS, e.Drop, e.AtMS)
+	case KindSpike:
+		return fmt.Sprintf("spike %s x%g @%gms (%g+%g+%gms)", e.Tenant, e.Mult, e.AtMS, e.RampMS, e.HoldMS, e.DecayMS)
+	case KindMigrate:
+		return fmt.Sprintf("migrate store %d -> m%d @%gms", e.Store, e.To, e.AtMS)
+	default:
+		return fmt.Sprintf("event(%d)", int(e.Kind))
+	}
+}
+
+// Assertion is one declarative bound over a run metric.
+type Assertion struct {
+	Metric string
+	Op     string // == != < <= > >=
+	Value  float64
+	Line   int
+}
+
+func (a Assertion) String() string {
+	return fmt.Sprintf("%s %s %g", a.Metric, a.Op, a.Value)
+}
+
+// MetricNames is every metric a scenario assertion may reference, in
+// report order. Run always populates all of them.
+var MetricNames = []string{
+	"generated", "served", "timeouts", "timeout_frac", "errors",
+	"goodput_rps", "p50_ms", "p99_ms", "p999_ms", "max_ms", "mean_ms",
+	"acked_writes", "lost",
+	"crashes", "restarts", "partitions", "degrades", "heals",
+	"promotions", "recoveries", "migrations",
+	"recovery_ms", "events", "windows",
+}
+
+var metricSet = func() map[string]bool {
+	m := make(map[string]bool, len(MetricNames))
+	for _, n := range MetricNames {
+		m[n] = true
+	}
+	return m
+}()
+
+var assertOps = []string{"==", "!=", "<", "<=", ">", ">="}
+
+// NeverRecovered is the recovery_ms value reported when goodput never
+// regains the recovery threshold after the last event: any upper-bound
+// assertion on recovery_ms fails against it.
+const NeverRecovered = 1e300
+
+// Parse decodes and validates a scenario document. Errors carry the
+// 1-based source line of the offending field.
+func Parse(src string) (*Spec, error) {
+	root, err := parseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	sp := &Spec{
+		Seed:         1,
+		RecoveryFrac: 0.9,
+		Fleet:        Fleet{Shards: 1, Machines: 4, Cores: 4, MemMB: 64},
+		Workload: Workload{
+			Stores:      4,
+			RF:          1,
+			Objects:     512,
+			ObjectBytes: 256,
+			WriteFrac:   0.25,
+			Servers:     4,
+			BatchMax:    32,
+			DeadlineUS:  1000,
+		},
+	}
+	for i, key := range root.keys {
+		v := root.vals[i]
+		switch key {
+		case "name":
+			if sp.Name, err = v.strVal(`field "name"`); err != nil {
+				return nil, err
+			}
+		case "description":
+			if sp.Description, err = v.strVal(`field "description"`); err != nil {
+				return nil, err
+			}
+		case "seed":
+			if sp.Seed, err = v.intVal(`field "seed"`); err != nil {
+				return nil, err
+			}
+		case "horizon_ms":
+			if sp.HorizonMS, err = v.floatVal(`field "horizon_ms"`); err != nil {
+				return nil, err
+			}
+		case "bucket_ms":
+			if sp.BucketMS, err = v.floatVal(`field "bucket_ms"`); err != nil {
+				return nil, err
+			}
+		case "drain_ms":
+			if sp.DrainMS, err = v.floatVal(`field "drain_ms"`); err != nil {
+				return nil, err
+			}
+		case "recovery_frac":
+			if sp.RecoveryFrac, err = v.floatVal(`field "recovery_frac"`); err != nil {
+				return nil, err
+			}
+		case "fleet":
+			if err = decodeFleet(v, &sp.Fleet); err != nil {
+				return nil, err
+			}
+		case "workload":
+			if err = decodeWorkload(v, &sp.Workload); err != nil {
+				return nil, err
+			}
+		case "events":
+			if sp.Events, err = decodeEvents(v); err != nil {
+				return nil, err
+			}
+		case "assertions":
+			if sp.Asserts, err = decodeAsserts(v); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown top-level field %q (line %d)", key, v.line)
+		}
+	}
+	sp.applyDefaults()
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+func (sp *Spec) applyDefaults() {
+	if sp.BucketMS == 0 {
+		sp.BucketMS = sp.HorizonMS / 40
+	}
+	if sp.DrainMS == 0 {
+		sp.DrainMS = math.Max(6, sp.HorizonMS/2)
+	}
+	if sp.Workload.SampleStepMS == 0 {
+		sp.Workload.SampleStepMS = sp.HorizonMS / 200
+	}
+	for i := range sp.Workload.Tenants {
+		t := &sp.Workload.Tenants[i]
+		if t.Curve == "" {
+			t.Curve = "constant"
+		}
+		if t.Zipf == 0 {
+			t.Zipf = 0.9
+		}
+		if t.Keys == 0 {
+			t.Keys = 1 << 20
+		}
+		if t.PeriodMS == 0 {
+			t.PeriodMS = sp.HorizonMS
+		}
+	}
+}
+
+func decodeFleet(n *node, f *Fleet) error {
+	if n.isScalar || n.isSeq {
+		return fmt.Errorf(`field "fleet": expected a mapping, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	for i, key := range n.keys {
+		v := n.vals[i]
+		ctx := fmt.Sprintf("fleet: field %q", key)
+		var err error
+		var iv int64
+		switch key {
+		case "shards":
+			if iv, err = v.intVal(ctx); err == nil {
+				f.Shards = int(iv)
+			}
+		case "machines":
+			if iv, err = v.intVal(ctx); err == nil {
+				f.Machines = int(iv)
+			}
+		case "cores":
+			if iv, err = v.intVal(ctx); err == nil {
+				f.Cores = int(iv)
+			}
+		case "mem_mb":
+			if f.MemMB, err = v.intVal(ctx); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: unknown field %q (line %d)", key, v.line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeWorkload(n *node, w *Workload) error {
+	if n.isScalar || n.isSeq {
+		return fmt.Errorf(`field "workload": expected a mapping, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	for i, key := range n.keys {
+		v := n.vals[i]
+		ctx := fmt.Sprintf("workload: field %q", key)
+		var err error
+		var iv int64
+		switch key {
+		case "stores":
+			if iv, err = v.intVal(ctx); err == nil {
+				w.Stores = int(iv)
+			}
+		case "rf":
+			if iv, err = v.intVal(ctx); err == nil {
+				w.RF = int(iv)
+			}
+		case "rebuild":
+			w.Rebuild, err = v.boolVal(ctx)
+		case "objects":
+			if iv, err = v.intVal(ctx); err == nil {
+				w.Objects = int(iv)
+			}
+		case "object_bytes":
+			w.ObjectBytes, err = v.intVal(ctx)
+		case "write_frac":
+			w.WriteFrac, err = v.floatVal(ctx)
+		case "servers":
+			if iv, err = v.intVal(ctx); err == nil {
+				w.Servers = int(iv)
+			}
+		case "batch_max":
+			if iv, err = v.intVal(ctx); err == nil {
+				w.BatchMax = int(iv)
+			}
+		case "deadline_us":
+			w.DeadlineUS, err = v.floatVal(ctx)
+		case "sample_step_ms":
+			w.SampleStepMS, err = v.floatVal(ctx)
+		case "tenants":
+			w.Tenants, err = decodeTenants(v)
+		default:
+			return fmt.Errorf("workload: unknown field %q (line %d)", key, v.line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeTenants(n *node) ([]Tenant, error) {
+	if !n.isSeq {
+		return nil, fmt.Errorf(`workload: field "tenants": expected a sequence, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	var out []Tenant
+	for ti, item := range n.items {
+		if item.isScalar || item.isSeq {
+			return nil, fmt.Errorf("tenants[%d]: expected a mapping, got a %s (line %d)", ti, item.kindName(), item.line)
+		}
+		var t Tenant
+		for i, key := range item.keys {
+			v := item.vals[i]
+			ctx := fmt.Sprintf("tenants[%d]: field %q", ti, key)
+			var err error
+			var iv int64
+			switch key {
+			case "name":
+				t.Name, err = v.strVal(ctx)
+			case "rate":
+				t.Rate, err = v.floatVal(ctx)
+			case "curve":
+				t.Curve, err = v.strVal(ctx)
+			case "amp":
+				t.Amp, err = v.floatVal(ctx)
+			case "period_ms":
+				t.PeriodMS, err = v.floatVal(ctx)
+			case "to":
+				t.To, err = v.floatVal(ctx)
+			case "over_ms":
+				t.OverMS, err = v.floatVal(ctx)
+			case "zipf":
+				t.Zipf, err = v.floatVal(ctx)
+			case "keys":
+				if iv, err = v.intVal(ctx); err == nil {
+					if iv <= 0 {
+						return nil, fmt.Errorf("%s: must be positive (line %d)", ctx, v.line)
+					}
+					t.Keys = uint64(iv)
+				}
+			default:
+				return nil, fmt.Errorf("tenants[%d]: unknown field %q (line %d)", ti, key, v.line)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func decodeEvents(n *node) ([]Event, error) {
+	if !n.isSeq {
+		return nil, fmt.Errorf(`field "events": expected a sequence, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	var out []Event
+	for ei, item := range n.items {
+		if item.isScalar || item.isSeq {
+			return nil, fmt.Errorf("events[%d]: expected a mapping, got a %s (line %d)", ei, item.kindName(), item.line)
+		}
+		ev := Event{Kind: -1, Line: item.line, Machine: -1, A: -1, B: -1, Store: -1, To: -1, Mult: math.NaN()}
+		for i, key := range item.keys {
+			v := item.vals[i]
+			ctx := fmt.Sprintf("events[%d]: field %q", ei, key)
+			var err error
+			var iv int64
+			switch key {
+			case "at_ms":
+				ev.AtMS, err = v.floatVal(ctx)
+			case "kind":
+				var s string
+				if s, err = v.strVal(ctx); err == nil {
+					ev.Kind = -1
+					for k, name := range kindNames {
+						if name == s {
+							ev.Kind = EventKind(k)
+						}
+					}
+					if ev.Kind < 0 {
+						return nil, fmt.Errorf("events[%d]: unknown event kind %q (want %s) (line %d)",
+							ei, s, strings.Join(kindNames, ", "), v.line)
+					}
+				}
+			case "machine":
+				if iv, err = v.intVal(ctx); err == nil {
+					ev.Machine = int(iv)
+				}
+			case "a":
+				if iv, err = v.intVal(ctx); err == nil {
+					ev.A = int(iv)
+				}
+			case "b":
+				if iv, err = v.intVal(ctx); err == nil {
+					ev.B = int(iv)
+				}
+			case "extra_us":
+				ev.ExtraUS, err = v.floatVal(ctx)
+			case "drop":
+				ev.Drop, err = v.floatVal(ctx)
+			case "tenant":
+				ev.Tenant, err = v.strVal(ctx)
+			case "mult":
+				ev.Mult, err = v.floatVal(ctx)
+			case "ramp_ms":
+				ev.RampMS, err = v.floatVal(ctx)
+			case "hold_ms":
+				ev.HoldMS, err = v.floatVal(ctx)
+			case "decay_ms":
+				ev.DecayMS, err = v.floatVal(ctx)
+			case "store":
+				if iv, err = v.intVal(ctx); err == nil {
+					ev.Store = int(iv)
+				}
+			case "to":
+				if iv, err = v.intVal(ctx); err == nil {
+					ev.To = int(iv)
+				}
+			default:
+				return nil, fmt.Errorf("events[%d]: unknown field %q (line %d)", ei, key, v.line)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if ev.Kind < 0 {
+			return nil, fmt.Errorf(`events[%d]: missing "kind" (line %d)`, ei, item.line)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+func decodeAsserts(n *node) ([]Assertion, error) {
+	if !n.isSeq {
+		return nil, fmt.Errorf(`field "assertions": expected a sequence, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	var out []Assertion
+	for ai, item := range n.items {
+		if item.isScalar || item.isSeq {
+			return nil, fmt.Errorf("assertions[%d]: expected a mapping, got a %s (line %d)", ai, item.kindName(), item.line)
+		}
+		a := Assertion{Line: item.line, Value: math.NaN()}
+		for i, key := range item.keys {
+			v := item.vals[i]
+			ctx := fmt.Sprintf("assertions[%d]: field %q", ai, key)
+			var err error
+			switch key {
+			case "metric":
+				if a.Metric, err = v.strVal(ctx); err == nil && !metricSet[a.Metric] {
+					return nil, fmt.Errorf("assertions[%d]: unknown metric %q (known: %s) (line %d)",
+						ai, a.Metric, strings.Join(MetricNames, ", "), v.line)
+				}
+			case "op":
+				if a.Op, err = v.strVal(ctx); err == nil {
+					ok := false
+					for _, op := range assertOps {
+						if op == a.Op {
+							ok = true
+						}
+					}
+					if !ok {
+						return nil, fmt.Errorf("assertions[%d]: unknown comparison op %q (want %s) (line %d)",
+							ai, a.Op, strings.Join(assertOps, ", "), v.line)
+					}
+				}
+			case "value":
+				a.Value, err = v.floatVal(ctx)
+			default:
+				return nil, fmt.Errorf("assertions[%d]: unknown field %q (line %d)", ai, key, v.line)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if a.Metric == "" {
+			return nil, fmt.Errorf(`assertions[%d]: missing "metric" (line %d)`, ai, item.line)
+		}
+		if a.Op == "" {
+			return nil, fmt.Errorf(`assertions[%d]: missing "op" (line %d)`, ai, item.line)
+		}
+		if math.IsNaN(a.Value) {
+			return nil, fmt.Errorf(`assertions[%d]: missing "value" (line %d)`, ai, item.line)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// validate enforces cross-field invariants: fleet/workload shape,
+// event targets in range and on one shard, non-decreasing timestamps.
+func (sp *Spec) validate() error {
+	if sp.Name == "" {
+		return fmt.Errorf(`scenario is missing "name"`)
+	}
+	if sp.HorizonMS <= 0 {
+		return fmt.Errorf("scenario %q: horizon_ms must be positive (got %g)", sp.Name, sp.HorizonMS)
+	}
+	if sp.RecoveryFrac <= 0 || sp.RecoveryFrac > 1 {
+		return fmt.Errorf("scenario %q: recovery_frac must be in (0, 1] (got %g)", sp.Name, sp.RecoveryFrac)
+	}
+	f, w := sp.Fleet, sp.Workload
+	if f.Shards < 1 || f.Machines < 2 || f.Cores < 1 || f.MemMB < 1 {
+		return fmt.Errorf("scenario %q: fleet needs shards >= 1, machines >= 2, cores >= 1, mem_mb >= 1 (got %d/%d/%d/%d)",
+			sp.Name, f.Shards, f.Machines, f.Cores, f.MemMB)
+	}
+	if w.Stores < 1 || w.Servers < 1 || w.BatchMax < 1 || w.Objects < 1 {
+		return fmt.Errorf("scenario %q: workload needs stores, servers, batch_max, objects >= 1", sp.Name)
+	}
+	if w.RF < 1 || w.RF > f.Machines-1 {
+		return fmt.Errorf("scenario %q: rf must be in [1, machines-1] (got rf=%d with %d machines/shard)",
+			sp.Name, w.RF, f.Machines)
+	}
+	if w.RF > 1 && w.Rebuild {
+		return fmt.Errorf("scenario %q: rebuild is an rf=1 fallback; at rf=%d durability must come from replication alone",
+			sp.Name, w.RF)
+	}
+	if w.WriteFrac < 0 || w.WriteFrac > 1 {
+		return fmt.Errorf("scenario %q: write_frac must be in [0, 1] (got %g)", sp.Name, w.WriteFrac)
+	}
+	if len(w.Tenants) == 0 {
+		return fmt.Errorf("scenario %q: workload needs at least one tenant", sp.Name)
+	}
+	tenants := map[string]bool{}
+	for ti, t := range w.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("scenario %q: tenants[%d] is missing a name", sp.Name, ti)
+		}
+		if tenants[t.Name] {
+			return fmt.Errorf("scenario %q: duplicate tenant %q", sp.Name, t.Name)
+		}
+		tenants[t.Name] = true
+		if t.Rate <= 0 {
+			return fmt.Errorf("scenario %q: tenant %q needs a positive rate (got %g)", sp.Name, t.Name, t.Rate)
+		}
+		switch t.Curve {
+		case "constant":
+		case "diurnal":
+			if t.Amp < 0 || t.Amp > 1 {
+				return fmt.Errorf("scenario %q: tenant %q: diurnal amp must be in [0, 1] (got %g)", sp.Name, t.Name, t.Amp)
+			}
+			if t.PeriodMS <= 0 {
+				return fmt.Errorf("scenario %q: tenant %q: diurnal period_ms must be positive", sp.Name, t.Name)
+			}
+		case "ramp":
+			if t.To < 0 || t.OverMS <= 0 {
+				return fmt.Errorf("scenario %q: tenant %q: ramp needs to >= 0 and over_ms > 0", sp.Name, t.Name)
+			}
+		default:
+			return fmt.Errorf("scenario %q: tenant %q: unknown curve %q (want constant, diurnal, ramp)",
+				sp.Name, t.Name, t.Curve)
+		}
+	}
+	totalMachines := f.Shards * f.Machines
+	totalStores := f.Shards * w.Stores
+	for i, ev := range sp.Events {
+		if i > 0 && ev.AtMS < sp.Events[i-1].AtMS {
+			return fmt.Errorf("events must be in non-decreasing time order: events[%d] at_ms=%g is earlier than events[%d] at_ms=%g (line %d)",
+				i, ev.AtMS, i-1, sp.Events[i-1].AtMS, ev.Line)
+		}
+		if ev.AtMS < 0 || ev.AtMS > sp.HorizonMS {
+			return fmt.Errorf("events[%d]: at_ms=%g outside the run horizon [0, %g] (line %d)", i, ev.AtMS, sp.HorizonMS, ev.Line)
+		}
+		switch ev.Kind {
+		case KindCrash, KindRestart:
+			if ev.Machine < 0 || ev.Machine >= totalMachines {
+				return fmt.Errorf("events[%d]: machine %d out of range [0, %d) (line %d)", i, ev.Machine, totalMachines, ev.Line)
+			}
+			if ev.Machine%f.Machines == 0 {
+				return fmt.Errorf("events[%d]: machine %d is a shard front end (servers + failure monitor) and cannot be %sed (line %d)",
+					i, ev.Machine, ev.Kind, ev.Line)
+			}
+		case KindPartition, KindDegrade, KindHeal:
+			if ev.A < 0 || ev.A >= totalMachines || ev.B < 0 || ev.B >= totalMachines {
+				return fmt.Errorf("events[%d]: link %d-%d out of range [0, %d) (line %d)", i, ev.A, ev.B, totalMachines, ev.Line)
+			}
+			if ev.A == ev.B {
+				return fmt.Errorf("events[%d]: link endpoints must differ (line %d)", i, ev.Line)
+			}
+			if ev.A/f.Machines != ev.B/f.Machines {
+				return fmt.Errorf("events[%d]: link %d-%d crosses shards (%d and %d); link faults are shard-local (line %d)",
+					i, ev.A, ev.B, ev.A/f.Machines, ev.B/f.Machines, ev.Line)
+			}
+			if ev.Kind == KindDegrade && (ev.Drop < 0 || ev.Drop > 1) {
+				return fmt.Errorf("events[%d]: drop must be in [0, 1] (got %g) (line %d)", i, ev.Drop, ev.Line)
+			}
+		case KindSpike:
+			if !tenants[ev.Tenant] {
+				return fmt.Errorf("events[%d]: spike targets unknown tenant %q (line %d)", i, ev.Tenant, ev.Line)
+			}
+			if math.IsNaN(ev.Mult) || ev.Mult < 1 {
+				return fmt.Errorf("events[%d]: spike mult must be >= 1 (line %d)", i, ev.Line)
+			}
+			if ev.RampMS <= 0 || ev.HoldMS < 0 || ev.DecayMS <= 0 {
+				return fmt.Errorf("events[%d]: spike needs ramp_ms > 0, hold_ms >= 0, decay_ms > 0 (line %d)", i, ev.Line)
+			}
+		case KindMigrate:
+			if ev.Store < 0 || ev.Store >= totalStores {
+				return fmt.Errorf("events[%d]: store %d out of range [0, %d) (line %d)", i, ev.Store, totalStores, ev.Line)
+			}
+			if ev.To < 0 || ev.To >= totalMachines {
+				return fmt.Errorf("events[%d]: destination machine %d out of range [0, %d) (line %d)", i, ev.To, totalMachines, ev.Line)
+			}
+			if ev.Store/w.Stores != ev.To/f.Machines {
+				return fmt.Errorf("events[%d]: store %d (shard %d) cannot migrate to machine %d (shard %d); migration is shard-local (line %d)",
+					i, ev.Store, ev.Store/w.Stores, ev.To, ev.To/f.Machines, ev.Line)
+			}
+			if ev.To%f.Machines == 0 {
+				return fmt.Errorf("events[%d]: machine %d is a shard front end; stores live on machines 1.. (line %d)", i, ev.To, ev.Line)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys ascending — the fixed iteration order
+// every golden-record walk uses so runs stay deterministic.
+func sortedKeys(m map[uint64]struct{}) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseYAMLShapes covers the structural subset the DSL relies on:
+// nested mappings, sequences of mappings, inline scalars, quoting, and
+// comments.
+func TestParseYAMLShapes(t *testing.T) {
+	src := `# top comment
+name: demo
+fleet:
+  shards: 2
+  machines: 4
+tenants:
+  - name: web
+    rate: 1000
+  - name: "spiky # not a comment"
+    rate: 2.5
+flags:
+  - alpha
+  - beta
+`
+	root, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := root.get("name").strVal("name"); got != "demo" {
+		t.Errorf("name = %q, want demo", got)
+	}
+	fleet := root.get("fleet")
+	if fleet == nil || len(fleet.keys) != 2 {
+		t.Fatalf("fleet mapping not parsed: %+v", fleet)
+	}
+	if n, _ := fleet.get("machines").intVal("machines"); n != 4 {
+		t.Errorf("machines = %d, want 4", n)
+	}
+	tenants := root.get("tenants")
+	if tenants == nil || !tenants.isSeq || len(tenants.items) != 2 {
+		t.Fatalf("tenants sequence not parsed: %+v", tenants)
+	}
+	if name, _ := tenants.items[1].get("name").strVal("name"); name != "spiky # not a comment" {
+		t.Errorf("quoted name with hash = %q", name)
+	}
+	if r, _ := tenants.items[1].get("rate").floatVal("rate"); r != 2.5 {
+		t.Errorf("rate = %g, want 2.5", r)
+	}
+	flags := root.get("flags")
+	if !flags.isSeq || len(flags.items) != 2 || !flags.items[0].isScalar {
+		t.Fatalf("scalar sequence not parsed: %+v", flags)
+	}
+}
+
+// TestParseYAMLErrors asserts the parser rejects malformed input with a
+// line-numbered, actionable message.
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "\n# only comments\n", "empty scenario file"},
+		{"tab indent", "a:\n\tb: 1\n", "line 2: tab in indentation (use spaces)"},
+		{"bad indent", "a:\n   b: 1\n  c: 2\n", "line 3: unexpected indentation (expected 0 spaces, got 2)"},
+		{"duplicate key", "a: 1\na: 2\n", `line 2: duplicate key "a"`},
+		{"missing value", "a:\nb: 1\n", `line 1: key "a" has no value`},
+		{"no colon", "a: 1\njust words\n", `line 2: expected "key: value" or "key:"`},
+		{"invalid key", "a b: 1\n", `line 1: invalid key "a b"`},
+		{"seq in map", "a: 1\n- b\n", "line 2: unexpected sequence item inside a mapping"},
+		{"empty seq item", "a:\n  - b: 1\n  -\n", "line 3: empty sequence item"},
+		{"unterminated quote", `a: "oops` + "\n", "line 1: unterminated quoted string"},
+		{"bad escape", `a: "\q"` + "\n", `line 1: unsupported escape \q in quoted string`},
+		{"trailing after quote", `a: "x" y` + "\n", "line 1: unexpected content after closing quote"},
+		{"indented doc", "  a: 1\n", "line 1: top-level content must not be indented"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML(tc.src)
+			if err == nil {
+				t.Fatalf("parseYAML accepted malformed input:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScalarCoercions checks the typed accessors and their mismatch
+// errors, which back the DSL's "assertion-bound type mismatch" checks.
+func TestScalarCoercions(t *testing.T) {
+	root, err := parseYAML("num: 3\nfrac: 0.5\nword: zero\nyes: true\nno: false\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := root.get("num").floatVal("num"); err != nil || v != 3 {
+		t.Errorf("floatVal(num) = %g, %v", v, err)
+	}
+	if v, err := root.get("yes").boolVal("yes"); err != nil || !v {
+		t.Errorf("boolVal(yes) = %v, %v", v, err)
+	}
+	if v, err := root.get("no").boolVal("no"); err != nil || v {
+		t.Errorf("boolVal(no) = %v, %v", v, err)
+	}
+	if _, err := root.get("word").floatVal("value"); err == nil ||
+		!strings.Contains(err.Error(), `value: expected a number, got "zero"`) {
+		t.Errorf("floatVal on word = %v, want type-mismatch error", err)
+	}
+	if _, err := root.get("frac").intVal("frac"); err == nil ||
+		!strings.Contains(err.Error(), `frac: expected an integer, got "0.5"`) {
+		t.Errorf("intVal on fraction = %v, want integer error", err)
+	}
+	if _, err := root.get("word").boolVal("word"); err == nil ||
+		!strings.Contains(err.Error(), "expected true or false") {
+		t.Errorf("boolVal on word = %v, want bool error", err)
+	}
+}
