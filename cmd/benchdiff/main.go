@@ -119,7 +119,7 @@ func compare(base, cand benchStats, tol float64) []string {
 // guarantee that benchdiff enforces (vs informational context).
 func gatedValue(k string) bool {
 	return strings.HasPrefix(k, "lost") || k == "failover_ms_mean" || k == "failover_ms_max" ||
-		k == "goodput_rps" || strings.HasPrefix(k, "p999_ms")
+		k == "goodput_rps" || strings.HasPrefix(k, "p999_ms") || k == "makespan_ratio"
 }
 
 // compareValues gates behavioural values. Non-gated keys — including
@@ -158,6 +158,14 @@ func compareValues(base, cand map[string]float64, tol float64) []string {
 			if cv < lo || cv > hi {
 				fails = append(fails, fmt.Sprintf(
 					"%s %.2f -> %.2f (tolerance ±%.0f%%): failover latency drifted", k, bv, cv, 100*tol))
+			}
+		case k == "makespan_ratio":
+			// Fixed-work completion time relative to the undisturbed
+			// oracle: the price of robustness must not creep.
+			lo, hi := bv*(1-tol), bv*(1+tol)
+			if cv < lo || cv > hi {
+				fails = append(fails, fmt.Sprintf(
+					"%s %.3f -> %.3f (tolerance ±%.0f%%): robustness tax drifted", k, bv, cv, 100*tol))
 			}
 		case k == "goodput_rps" || strings.HasPrefix(k, "p999_ms"):
 			// Serving throughput and tail latency: deterministic, so

@@ -33,6 +33,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/load"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/proclet"
 	"repro/internal/replication"
 	scen "repro/internal/scenario"
 	"repro/internal/sharded"
@@ -87,7 +89,7 @@ var scenarios = []scenario{
 			{Cores: 8, MemBytes: 64 << 20},
 		}
 	}, runChurn},
-	{"gpu", "trainers on spot GPUs with rotating reclamation", twoBig, runGPU},
+	{"gpu", "checkpointed trainers ride out XID, throttle, and spot reclaim", twoBig, runGPU},
 	{"replicas", "replicated store fleet driven through a primary crash", func() []cluster.MachineConfig {
 		// Replication needs room for anti-affine backups plus a monitor
 		// machine that survives the scripted crash.
@@ -410,44 +412,74 @@ func runPipeline(sys *core.System, horizon sim.Time, _ io.Writer) error {
 	return nil
 }
 
-// runGPU exercises GPU proclets: trainers stepping on spot GPUs with a
-// rotating reclamation, evacuated by the fleet watcher.
+// runGPU exercises the GPU robustness plane: checkpointed trainers on
+// a heterogeneous device mix ride out a fatal XID, a thermal throttle
+// with ECC stutter, and a spot reclaim/return cycle, with the fleet
+// watcher restoring, re-dispatching, and evacuating as each fault
+// lands.
 func runGPU(sys *core.System, horizon sim.Time, out io.Writer) error {
 	for _, m := range sys.Cluster.Machines() {
-		m.AddGPUs(cluster.GPUConfig{Count: 2, MemBytes: 16 << 30, LinkBandwidth: 16_000_000_000})
+		m.AddGPUs(
+			cluster.GPUConfig{Count: 2, MemBytes: 1 << 30, LinkBandwidth: 16_000_000_000,
+				Class: "a100", Speed: 1},
+			cluster.GPUConfig{Count: 1, MemBytes: 1 << 30, LinkBandwidth: 16_000_000_000,
+				Class: "h100", Speed: 2},
+		)
 	}
-	fleet := gpu.NewFleet(sys, "trainers", time.Millisecond)
+	fleet := gpu.NewFleetConfig(sys, "trainers", gpu.Config{
+		Period: time.Millisecond,
+		Checkpoint: gpu.CheckpointConfig{
+			DeltaBytes:    256 << 10,
+			SnapshotEvery: 50,
+			Home:          gpu.AutoHome,
+		},
+	})
 	var trainers []*gpu.Proclet
 	for i := 0; i < 3; i++ {
-		gp, err := fleet.Add(fmt.Sprintf("trainer-%d", i), 256<<20, 5*time.Millisecond)
+		gp, err := fleet.Add(fmt.Sprintf("trainer-%d", i), 128<<20, time.Millisecond)
 		if err != nil {
 			return err
 		}
 		trainers = append(trainers, gp)
 		sys.K.Spawn("driver", func(p *sim.Proc) {
 			for p.Now() < horizon {
-				if err := gp.Step(p, gp.Device().Machine.ID, 8<<20); err != nil {
-					p.Sleep(time.Millisecond)
+				err := gp.Step(p, gp.Device().Machine.ID, 1<<20)
+				if err == nil {
+					continue
+				}
+				if errors.Is(err, proclet.ErrDead) {
+					return
+				}
+				if gp.AwaitPlaced(p) != nil {
+					return
 				}
 			}
 		})
 	}
 	fleet.Start()
-	victim := 0
-	sys.K.Every(sim.Time(20*time.Millisecond), 30*time.Millisecond, func() bool {
-		g := trainers[victim%len(trainers)].Device()
-		victim++
-		g.SetAvailable(false)
-		sys.K.After(15*time.Millisecond, func() { g.SetAvailable(true) })
-		return sys.K.Now() < horizon
+	in := fault.New(sys.K, sys.Cluster, sys.Trace)
+	in.HookGPU = func(cluster.MachineID, int) { fleet.Kick() }
+	at := func(frac float64) sim.Time { return sim.Time(float64(horizon) * frac) }
+	d0, d1, d2 := trainers[0].Device(), trainers[1].Device(), trainers[2].Device()
+	in.Install(fault.Schedule{
+		{At: at(0.15), Op: fault.OpGPUReclaim, A: d2.Machine.ID, Gpu: d2.Index},
+		{At: at(0.25), Op: fault.OpGPUXid, A: d0.Machine.ID, Gpu: d0.Index, Xid: 79},
+		{At: at(0.45), Op: fault.OpGPUThrottle, A: d1.Machine.ID, Gpu: d1.Index,
+			Factor: 4, StallEvery: 8, Stall: 2 * time.Millisecond},
+		{At: at(0.6), Op: fault.OpGPUReturn, A: d2.Machine.ID, Gpu: d2.Index},
+		{At: at(0.8), Op: fault.OpGPUHeal, A: d1.Machine.ID, Gpu: d1.Index},
 	})
 	sys.K.RunUntil(horizon)
 	fleet.Stop()
 	for _, gp := range trainers {
-		fmt.Fprintf(out, "%s: %d steps, now on %v\n", gp.Name(), gp.Steps.Value(), gp.Device())
+		fmt.Fprintf(out, "%s: %d steps (%d checkpointed), now on %v\n",
+			gp.Name(), gp.CompletedSteps(), gp.Checkpoints.Value(), gp.Device())
 	}
-	fmt.Fprintf(out, "fleet: %d evacuations (mean %.1f ms), %d stranded polls\n\n",
-		fleet.Evacuations.Value(), fleet.MigrationLatency.Mean()*1000, fleet.Stranded.Value())
+	fmt.Fprintf(out, "faults: %d xid, %d throttle, %d reclaim, %d heal\n",
+		in.GPUXids.Value(), in.GPUThrottles.Value(), in.GPUReclaims.Value(), in.GPUHeals.Value())
+	fmt.Fprintf(out, "fleet: %d restores, %d evacuations, %d mitigations (mean %.1f ms), %d stranded polls, %d steps lost\n\n",
+		fleet.Restores.Value(), fleet.Evacuations.Value(), fleet.Mitigations.Value(),
+		fleet.MigrationLatency.Mean()*1000, fleet.Stranded.Value(), fleet.LostSteps())
 	return nil
 }
 

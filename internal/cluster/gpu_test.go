@@ -119,6 +119,144 @@ func TestGPUZeroTransfersFree(t *testing.T) {
 	k.Run()
 }
 
+func TestAddGPUsHeterogeneousClasses(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMachine(k, 0, "m", MachineConfig{Cores: 8, MemBytes: 1 << 30})
+	m.AddGPUs(
+		GPUConfig{Count: 2, MemBytes: 8 << 30, LinkBandwidth: 2_000_000_000, Class: "h100", Speed: 2},
+		GPUConfig{Count: 1, MemBytes: 4 << 30, LinkBandwidth: 1_000_000_000, Class: "t4", Speed: 0.5},
+	)
+	if m.NumGPUs() != 3 {
+		t.Fatalf("NumGPUs = %d", m.NumGPUs())
+	}
+	fast, slow := m.GPU(0), m.GPU(2)
+	if fast.Class() != "h100" || fast.Speed() != 2 || fast.MemCapacity() != 8<<30 {
+		t.Errorf("fast class = %q speed=%v cap=%d", fast.Class(), fast.Speed(), fast.MemCapacity())
+	}
+	if slow.Class() != "t4" || slow.Speed() != 0.5 || slow.LinkBandwidth() != 1_000_000_000 {
+		t.Errorf("slow class = %q speed=%v bw=%d", slow.Class(), slow.Speed(), slow.LinkBandwidth())
+	}
+	// Machine-level bandwidth reports the first class.
+	if m.GPULinkBandwidth() != 2_000_000_000 {
+		t.Errorf("machine link bw = %d", m.GPULinkBandwidth())
+	}
+	// A 4ms baseline kernel runs in 2ms on the 2x class, 8ms on the 0.5x.
+	var tFast, tSlow sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		fast.ExecKernel(p, 4*time.Millisecond)
+		tFast = p.Now()
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		slow.ExecKernel(p, 4*time.Millisecond)
+		tSlow = p.Now()
+	})
+	k.Run()
+	if tFast != 2*sim.Millisecond || tSlow != 8*sim.Millisecond {
+		t.Errorf("kernel done at %v/%v, want 2ms/8ms", tFast, tSlow)
+	}
+}
+
+func TestGPUThermalThrottle(t *testing.T) {
+	k, m := gpuMachine(t, 1)
+	g := m.GPU(0)
+	g.SetThrottle(2.5)
+	if !g.Degraded() || g.Throttle() != 2.5 || g.EffectiveSpeed() != 0.4 {
+		t.Errorf("throttle=%v eff=%v", g.Throttle(), g.EffectiveSpeed())
+	}
+	k.Spawn("a", func(p *sim.Proc) {
+		g.ExecKernel(p, 4*time.Millisecond)
+		if p.Now() != 10*sim.Millisecond {
+			t.Errorf("throttled kernel done at %v, want 10ms", p.Now())
+		}
+		g.Heal()
+		g.ExecKernel(p, 4*time.Millisecond)
+		if p.Now() != 14*sim.Millisecond {
+			t.Errorf("healed kernel done at %v, want 14ms", p.Now())
+		}
+	})
+	k.Run()
+	if g.Degraded() {
+		t.Error("still degraded after Heal")
+	}
+}
+
+func TestGPUThrottleBelowOnePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, m := gpuMachine(t, 1)
+	m.GPU(0).SetThrottle(0.5)
+}
+
+func TestGPUECCStutter(t *testing.T) {
+	k, m := gpuMachine(t, 1)
+	g := m.GPU(0)
+	g.SetStutter(3, 5*time.Millisecond) // every 3rd kernel stalls 5ms
+	if !g.Stuttering() || !g.Degraded() {
+		t.Error("stutter not reported")
+	}
+	k.Spawn("a", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			g.ExecKernel(p, time.Millisecond)
+		}
+		// 1 + 1 + (1+5) = 8ms.
+		if p.Now() != 8*sim.Millisecond {
+			t.Errorf("3 stuttering kernels done at %v, want 8ms", p.Now())
+		}
+	})
+	k.Run()
+	g.SetStutter(0, 0)
+	if g.Stuttering() {
+		t.Error("stutter not cleared")
+	}
+}
+
+func TestGPUXidFail(t *testing.T) {
+	_, m := gpuMachine(t, 1)
+	g := m.GPU(0)
+	if g.Failed() || !g.Healthy() || g.Xid() != 0 {
+		t.Fatal("fresh GPU reports failure")
+	}
+	g.Fail(79) // XID 79: GPU fell off the bus
+	if !g.Failed() || g.Healthy() || g.Xid() != 79 || g.EffectiveSpeed() != 0 {
+		t.Errorf("failed=%v healthy=%v xid=%d eff=%v", g.Failed(), g.Healthy(), g.Xid(), g.EffectiveSpeed())
+	}
+	if !g.Available() {
+		t.Error("Fail must not change spot availability")
+	}
+	g.Heal()
+	if g.Failed() || g.Xid() != 0 || !g.Healthy() {
+		t.Error("Heal did not clear XID state")
+	}
+	// Reclaimed but unfailed: not healthy either.
+	g.SetAvailable(false)
+	if g.Healthy() || g.EffectiveSpeed() != 0 {
+		t.Error("reclaimed GPU reports healthy")
+	}
+}
+
+func TestGPUQueueWaitReturns(t *testing.T) {
+	k, m := gpuMachine(t, 1)
+	g := m.GPU(0)
+	var waitA, waitB, waitUp time.Duration
+	k.Spawn("a", func(p *sim.Proc) {
+		waitA = g.ExecKernel(p, 4*time.Millisecond)
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		waitB = g.ExecKernel(p, 4*time.Millisecond)
+		waitUp = g.Upload(p, 1_000_000)
+	})
+	k.Run()
+	if waitA != 0 || waitB != 4*time.Millisecond {
+		t.Errorf("queue waits %v/%v, want 0/4ms", waitA, waitB)
+	}
+	if waitUp != 0 {
+		t.Errorf("upload wait = %v, want 0 (idle link)", waitUp)
+	}
+}
+
 func TestGPUMemBounds(t *testing.T) {
 	_, m := gpuMachine(t, 1)
 	g := m.GPU(0)

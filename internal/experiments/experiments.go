@@ -25,6 +25,7 @@
 //	ext-failover   extension — replicated proclets, leases, failover
 //	ext-scale      extension — 1,000-machine partitioned fleet (ParKernel)
 //	ext-serve      extension — million-client open-loop serving (tail latency)
+//	ext-gpufleet   extension — GPU gray failures: checkpoints, stragglers, makespan
 package experiments
 
 import (
@@ -181,6 +182,7 @@ var registry = map[string]struct {
 	"ext-failover":    {"extension: replicated memory proclets fail over a crash without data loss", runExtFailover},
 	"ext-scale":       {"extension: 1,000-machine partitioned fleet, deterministic at any worker count", runExtScale},
 	"ext-serve":       {"extension: million-client open-loop serving with tail-latency telemetry", runExtServe},
+	"ext-gpufleet":    {"extension: heterogeneous GPU fleet under gray failures (checkpoints, stragglers)", runExtGPUFleet},
 }
 
 // List returns registered experiment IDs, sorted.

@@ -8,8 +8,8 @@ import (
 
 func TestListAndTitles(t *testing.T) {
 	ids := List()
-	if len(ids) != 19 {
-		t.Fatalf("List() = %v, want 19 experiments", ids)
+	if len(ids) != 20 {
+		t.Fatalf("List() = %v, want 20 experiments", ids)
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -612,6 +612,94 @@ func TestExtScaleDeterminism(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		r2, err := Run("ext-scale", TestScale)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r1.EventsProcessed != r2.EventsProcessed {
+			t.Errorf("seed %d: events %d vs %d across runs", seed, r1.EventsProcessed, r2.EventsProcessed)
+		}
+		for k, v := range r1.Values {
+			if strings.HasPrefix(k, "wall_") {
+				continue
+			}
+			if r2.Values[k] != v {
+				t.Errorf("seed %d: %s = %v vs %v across runs", seed, k, v, r2.Values[k])
+			}
+		}
+		for i := range r1.Lines {
+			if r1.Lines[i] != r2.Lines[i] {
+				t.Errorf("seed %d: line %d differs:\n%s\n%s", seed, i, r1.Lines[i], r2.Lines[i])
+			}
+		}
+		if len(r1.Trace) == 0 || !reflect.DeepEqual(r1.Trace, r2.Trace) {
+			t.Errorf("seed %d: merged traces differ across runs", seed)
+		}
+	}
+}
+
+func TestExtGPUFleetShape(t *testing.T) {
+	res, err := Run("ext-gpufleet", TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline guarantee: with per-step checkpoint mirrors, the
+	// scripted XID + throttle + stutter + reclaim schedule loses zero
+	// acknowledged training steps.
+	if res.Values["lost_steps"] != 0 {
+		t.Errorf("lost_steps = %v, want 0 (checkpointed fleet)", res.Values["lost_steps"])
+	}
+	// The contrast must visibly bite, or the comparison proves nothing.
+	if res.Values["nockpt_lost_steps"] <= 0 {
+		t.Errorf("nockpt_lost_steps = %v, want > 0 (XID without a mirror redoes work)",
+			res.Values["nockpt_lost_steps"])
+	}
+	// Every scripted fault produces exactly its reaction: one restore
+	// for the XID, one grace-window evacuation for the reclaim, and one
+	// mitigation each for the throttled and the stuttering straggler.
+	if res.Values["restores"] != 1 {
+		t.Errorf("restores = %v, want 1", res.Values["restores"])
+	}
+	if res.Values["evacuations"] != 1 {
+		t.Errorf("evacuations = %v, want 1", res.Values["evacuations"])
+	}
+	if res.Values["mitigations"] != 2 {
+		t.Errorf("mitigations = %v, want 2 (throttle + stutter victims)", res.Values["mitigations"])
+	}
+	if res.Values["stranded"] != 0 {
+		t.Errorf("stranded = %v, want 0 (the spare pool always has room)", res.Values["stranded"])
+	}
+	// Makespan ordering: the oracle is fastest, robustness costs
+	// something bounded, and disabling mitigation costs far more.
+	oracle, robust := res.Values["makespan_ms_oracle"], res.Values["makespan_ms_robust"]
+	nomit := res.Values["makespan_ms_nomit"]
+	if oracle <= 0 || robust <= oracle {
+		t.Errorf("makespans oracle=%v robust=%v, want 0 < oracle < robust", oracle, robust)
+	}
+	if ratio := res.Values["makespan_ratio"]; ratio < 1 || ratio > 2 {
+		t.Errorf("makespan_ratio = %v, want within (1, 2]: robustness tax out of band", ratio)
+	}
+	if nomit <= robust {
+		t.Errorf("makespan nomit=%v <= robust=%v: mitigation should pay for itself", nomit, robust)
+	}
+	if res.Values["steps"] <= 0 {
+		t.Error("no training steps recorded")
+	}
+	if res.EventsProcessed == 0 || len(res.Trace) == 0 {
+		t.Error("missing determinism evidence (events/trace)")
+	}
+}
+
+// Two runs at the same seed must agree on every deterministic value,
+// line, and trace event, at several base seeds.
+func TestExtGPUFleetDeterminism(t *testing.T) {
+	defer SetBaseSeed(0)
+	for _, seed := range []int64{0, 4} {
+		SetBaseSeed(seed)
+		r1, err := Run("ext-gpufleet", TestScale)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := Run("ext-gpufleet", TestScale)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -128,7 +128,7 @@ func extGPURun(cfg extGPUCfg, fungible bool) (extGPUOut, error) {
 				cur.Destroy()
 				p.Sleep(cfg.coldStart)
 				for {
-					g, err := fleet.PickGPU(nil)
+					g, err := fleet.PickGPU(cfg.modelBytes, nil)
 					if err != nil {
 						p.Sleep(10 * time.Millisecond)
 						continue

@@ -44,6 +44,20 @@ const (
 	OpDegrade
 	// OpHeal clears any link fault between A and B.
 	OpHeal
+	// OpGPUXid fatally fails GPU Gpu on machine A with error code Xid:
+	// the device stops executing and its memory contents are lost.
+	OpGPUXid
+	// OpGPUThrottle degrades GPU Gpu on machine A without killing it:
+	// Factor is a multiplicative thermal slowdown (>= 1), and
+	// StallEvery/Stall optionally add an ECC stutter (every Nth kernel
+	// stalls for Stall).
+	OpGPUThrottle
+	// OpGPUHeal clears all gray-failure state on GPU Gpu of machine A.
+	OpGPUHeal
+	// OpGPUReclaim takes spot GPU Gpu on machine A back (memory stays
+	// readable for evacuation); OpGPUReturn hands it back.
+	OpGPUReclaim
+	OpGPUReturn
 )
 
 func (o Op) String() string {
@@ -58,6 +72,16 @@ func (o Op) String() string {
 		return "degrade"
 	case OpHeal:
 		return "heal"
+	case OpGPUXid:
+		return "gpu_xid"
+	case OpGPUThrottle:
+		return "gpu_throttle"
+	case OpGPUHeal:
+		return "gpu_heal"
+	case OpGPUReclaim:
+		return "gpu_reclaim"
+	case OpGPUReturn:
+		return "gpu_return"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -65,13 +89,21 @@ func (o Op) String() string {
 
 // Event is one scheduled fault. A is the target machine; B is the peer
 // for link faults (ignored for crash/restart). Extra and Drop apply to
-// OpDegrade only.
+// OpDegrade only. Gpu selects the device on machine A for the OpGPU*
+// ops; Xid carries the device error code for OpGPUXid; Factor,
+// StallEvery and Stall parameterize OpGPUThrottle.
 type Event struct {
 	At    sim.Time
 	Op    Op
 	A, B  cluster.MachineID
 	Extra time.Duration
 	Drop  float64
+
+	Gpu        int
+	Xid        int
+	Factor     float64
+	StallEvery int
+	Stall      time.Duration
 }
 
 // Schedule is a list of fault events. Order does not matter; Install
@@ -93,6 +125,11 @@ type Injector struct {
 	HookCrash func(m cluster.MachineID)
 	// HookRestart runs after machine m rejoins empty.
 	HookRestart func(m cluster.MachineID)
+	// HookGPU runs after any GPU fault op changes device state on
+	// machine m's GPU gpu (xid, throttle, heal, reclaim, return). A GPU
+	// fleet kicks its watcher here so reaction latency is not quantized
+	// to the watch period.
+	HookGPU func(m cluster.MachineID, gpu int)
 
 	// Counters of applied faults.
 	Crashes    metrics.Counter
@@ -100,6 +137,13 @@ type Injector struct {
 	Partitions metrics.Counter
 	Degrades   metrics.Counter
 	Heals      metrics.Counter
+
+	// GPU gray-failure counters.
+	GPUXids      metrics.Counter
+	GPUThrottles metrics.Counter
+	GPUHeals     metrics.Counter
+	GPUReclaims  metrics.Counter
+	GPUReturns   metrics.Counter
 }
 
 // New creates an injector for the cluster. If the fabric has no default
@@ -147,8 +191,63 @@ func (in *Injector) Apply(ev Event) {
 		in.Heals.Inc()
 		in.c.Fabric.ClearLinkFault(simnet.NodeID(ev.A), simnet.NodeID(ev.B))
 		in.t.Emitf(in.k.Now(), trace.KindFault, "link", int(ev.A), int(ev.B), "heal")
+	case OpGPUXid, OpGPUThrottle, OpGPUHeal, OpGPUReclaim, OpGPUReturn:
+		in.applyGPU(ev)
 	default:
 		panic(fmt.Sprintf("fault: unknown op %v", ev.Op))
+	}
+}
+
+func (in *Injector) applyGPU(ev Event) {
+	m := in.c.Machine(ev.A)
+	if m == nil {
+		return
+	}
+	g := m.GPU(ev.Gpu)
+	if g == nil {
+		return
+	}
+	name := g.String()
+	switch ev.Op {
+	case OpGPUXid:
+		if g.Failed() {
+			return
+		}
+		in.GPUXids.Inc()
+		g.Fail(ev.Xid)
+		in.t.Emitf(in.k.Now(), trace.KindFault, name, int(ev.A), ev.Gpu,
+			"gpu xid %d (fatal, device memory lost)", ev.Xid)
+	case OpGPUThrottle:
+		in.GPUThrottles.Inc()
+		if ev.Factor > 1 {
+			g.SetThrottle(ev.Factor)
+		}
+		if ev.StallEvery > 0 {
+			g.SetStutter(ev.StallEvery, ev.Stall)
+		}
+		in.t.Emitf(in.k.Now(), trace.KindFault, name, int(ev.A), ev.Gpu,
+			"gpu throttle x%.2f stall %v/%d", g.Throttle(), ev.Stall, ev.StallEvery)
+	case OpGPUHeal:
+		in.GPUHeals.Inc()
+		g.Heal()
+		in.t.Emitf(in.k.Now(), trace.KindRecover, name, int(ev.A), ev.Gpu, "gpu heal")
+	case OpGPUReclaim:
+		if !g.Available() {
+			return
+		}
+		in.GPUReclaims.Inc()
+		g.SetAvailable(false)
+		in.t.Emitf(in.k.Now(), trace.KindFault, name, int(ev.A), ev.Gpu, "gpu spot reclaim")
+	case OpGPUReturn:
+		if g.Available() {
+			return
+		}
+		in.GPUReturns.Inc()
+		g.SetAvailable(true)
+		in.t.Emitf(in.k.Now(), trace.KindRecover, name, int(ev.A), ev.Gpu, "gpu spot return")
+	}
+	if in.HookGPU != nil {
+		in.HookGPU(ev.A, ev.Gpu)
 	}
 }
 

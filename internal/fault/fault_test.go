@@ -224,3 +224,69 @@ type (
 	Ctx = proclet.Ctx
 	Msg = proclet.Msg
 )
+
+func TestGPUFaultOps(t *testing.T) {
+	k, c, _ := testCluster(t, 2)
+	c.Machine(1).AddGPUs(cluster.GPUConfig{Count: 2, MemBytes: 4 << 30, LinkBandwidth: 1_000_000_000})
+	tl := trace.New()
+	in := New(k, c, tl)
+	var kicks []int
+	in.HookGPU = func(m cluster.MachineID, gpu int) {
+		if m != 1 {
+			t.Errorf("hook machine = %d", m)
+		}
+		kicks = append(kicks, gpu)
+	}
+	in.Install(Schedule{
+		{At: sim.Time(time.Millisecond), Op: OpGPUThrottle, A: 1, Gpu: 0, Factor: 3},
+		{At: sim.Time(2 * time.Millisecond), Op: OpGPUXid, A: 1, Gpu: 1, Xid: 79},
+		{At: sim.Time(3 * time.Millisecond), Op: OpGPUReclaim, A: 1, Gpu: 0},
+		{At: sim.Time(4 * time.Millisecond), Op: OpGPUHeal, A: 1, Gpu: 1},
+		{At: sim.Time(5 * time.Millisecond), Op: OpGPUReturn, A: 1, Gpu: 0},
+		// No-ops: unknown GPU index, machine without GPUs.
+		{At: sim.Time(6 * time.Millisecond), Op: OpGPUXid, A: 1, Gpu: 9},
+		{At: sim.Time(6 * time.Millisecond), Op: OpGPUXid, A: 0, Gpu: 0},
+	})
+	g0, g1 := c.Machine(1).GPU(0), c.Machine(1).GPU(1)
+
+	k.RunUntil(sim.Time(1500 * time.Microsecond))
+	if g0.Throttle() != 3 {
+		t.Errorf("throttle = %v", g0.Throttle())
+	}
+	k.RunUntil(sim.Time(2500 * time.Microsecond))
+	if !g1.Failed() || g1.Xid() != 79 {
+		t.Errorf("failed=%v xid=%d", g1.Failed(), g1.Xid())
+	}
+	k.RunUntil(sim.Time(3500 * time.Microsecond))
+	if g0.Available() {
+		t.Error("g0 still available after reclaim")
+	}
+	k.Run()
+	if g1.Failed() || !g0.Available() {
+		t.Errorf("after heal/return: failed=%v avail=%v", g1.Failed(), g0.Available())
+	}
+	if got := in.GPUXids.Value() + in.GPUThrottles.Value() + in.GPUHeals.Value() +
+		in.GPUReclaims.Value() + in.GPUReturns.Value(); got != 5 {
+		t.Errorf("applied GPU faults = %d, want 5", got)
+	}
+	want := []int{0, 1, 0, 1, 0}
+	if len(kicks) != len(want) {
+		t.Fatalf("hook kicks = %v, want %v", kicks, want)
+	}
+	for i := range want {
+		if kicks[i] != want[i] {
+			t.Fatalf("hook kicks = %v, want %v", kicks, want)
+		}
+	}
+}
+
+func TestGPUFaultOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpGPUXid: "gpu_xid", OpGPUThrottle: "gpu_throttle", OpGPUHeal: "gpu_heal",
+		OpGPUReclaim: "gpu_reclaim", OpGPUReturn: "gpu_return",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+}

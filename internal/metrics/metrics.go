@@ -318,3 +318,42 @@ func (c *SharedCounter) Addn(n int64) {
 
 // Value returns the current count.
 func (c *SharedCounter) Value() int64 { return c.n.Load() }
+
+// EWMA is an exponentially weighted moving average: each observation
+// folds in with weight alpha. The first observation seeds the average
+// directly, so short-lived series are not biased toward zero. Plain
+// float state updated from kernel context — deterministic.
+type EWMA struct {
+	alpha float64
+	v     float64
+	n     int64
+}
+
+// NewEWMA creates an average with the given smoothing factor
+// (0 < alpha <= 1; larger tracks faster).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("metrics: EWMA alpha out of (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(v float64) {
+	if e.n == 0 {
+		e.v = v
+	} else {
+		e.v += e.alpha * (v - e.v)
+	}
+	e.n++
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Count returns how many samples have been observed.
+func (e *EWMA) Count() int64 { return e.n }
+
+// Reset discards all state, as after a migration that changes the
+// thing being averaged.
+func (e *EWMA) Reset() { e.v, e.n = 0, 0 }

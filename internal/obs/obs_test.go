@@ -359,3 +359,45 @@ func TestAnalyzeReport(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzeGPUSection: the gpu.<name>.step_ms / .qdelay_ms series
+// registered by the GPU fleet's AttachTelemetry must surface as a
+// per-trainer step-latency digest — the fingerprint of a gray-degraded
+// device is a step-max far above the step-mean.
+func TestAnalyzeGPUSection(t *testing.T) {
+	recs := []Record{
+		{Type: "sample", Series: "gpu.trainer-0.step_ms", Machine: 1, AtNS: 1e6, Value: 1.0},
+		{Type: "sample", Series: "gpu.trainer-0.step_ms", Machine: 1, AtNS: 2e6, Value: 3.0},
+		{Type: "sample", Series: "gpu.trainer-0.qdelay_ms", Machine: 1, AtNS: 2e6, Value: 0.5},
+		{Type: "sample", Series: "gpu.trainer-1.step_ms", Machine: 2, AtNS: 1e6, Value: 2.0},
+		// Not a GPU series: must keep flowing into machine utilization.
+		{Type: "sample", Series: "m0.cpu_util", Machine: 0, AtNS: 1e6, Value: 0.5},
+	}
+	rp := Analyze(recs)
+	if len(rp.GPUs) != 2 {
+		t.Fatalf("GPUs = %+v, want 2 trainers", rp.GPUs)
+	}
+	g0 := rp.GPUs[0]
+	if g0.Name != "trainer-0" || g0.Machine != 1 || g0.Samples != 2 {
+		t.Errorf("trainer-0 stat = %+v", g0)
+	}
+	if g0.StepMeanMS != 2.0 || g0.StepMaxMS != 3.0 {
+		t.Errorf("trainer-0 step mean/max = %v/%v, want 2/3", g0.StepMeanMS, g0.StepMaxMS)
+	}
+	if g0.QDelayMeanMS != 0.5 || g0.QDelayMaxMS != 0.5 {
+		t.Errorf("trainer-0 qdelay mean/max = %v/%v, want 0.5/0.5", g0.QDelayMeanMS, g0.QDelayMaxMS)
+	}
+	if rp.GPUs[1].Name != "trainer-1" || rp.GPUs[1].StepMeanMS != 2.0 {
+		t.Errorf("trainer-1 stat = %+v", rp.GPUs[1])
+	}
+	if len(rp.Machines) != 1 || rp.Machines[0].Machine != 0 {
+		t.Errorf("machines = %+v: gpu series leaked into machine utilization", rp.Machines)
+	}
+	var report strings.Builder
+	rp.Print(&report, 5)
+	for _, want := range []string{"gpu trainers", "trainer-0", "step-max"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, report.String())
+		}
+	}
+}

@@ -14,6 +14,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -22,8 +23,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/gpu"
 	"repro/internal/load"
 	"repro/internal/metrics"
+	"repro/internal/proclet"
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -84,12 +87,14 @@ func writeVal(id uint64) int64 { return int64(id ^ 0x9e3779b97f4a7c15) }
 // shardState is one shard's mutable run state. Written only in shard
 // context (procs on that shard's kernel), read host-side after the run.
 type shardState struct {
-	sys    *core.System
-	rm     *core.ReplManager
-	in     *fault.Injector
-	stores []*core.MemoryProclet
-	golden []map[uint64]struct{}
-	inj    *load.Injector
+	sys      *core.System
+	rm       *core.ReplManager
+	in       *fault.Injector
+	stores   []*core.MemoryProclet
+	golden   []map[uint64]struct{}
+	inj      *load.Injector
+	fleet    *gpu.Fleet
+	trainers []*gpu.Proclet
 
 	queue []load.Request
 	qhead int
@@ -186,6 +191,24 @@ func Run(sp *Spec, opt Options) (*Outcome, error) {
 			s := ev.Store / w.Stores
 			migs[s] = append(migs[s], migration{
 				at: at, store: ev.Store % w.Stores, to: ev.To % f.Machines})
+		case KindGPUXid, KindGPUThrottle, KindGPUHeal:
+			s := ev.Machine / f.Machines
+			op := fault.OpGPUXid
+			switch ev.Kind {
+			case KindGPUThrottle:
+				op = fault.OpGPUThrottle
+			case KindGPUHeal:
+				op = fault.OpGPUHeal
+			}
+			faults[s] = append(faults[s], fault.Event{
+				At: at, Op: op,
+				A:          cluster.MachineID(ev.Machine % f.Machines),
+				Gpu:        ev.GPU,
+				Xid:        ev.Xid,
+				Factor:     ev.Factor,
+				StallEvery: ev.StallEveryN,
+				Stall:      time.Duration(ev.StallUS * 1e3),
+			})
 		}
 	}
 
@@ -211,6 +234,26 @@ func Run(sp *Spec, opt Options) (*Outcome, error) {
 		// scheduled faults — so RPC timeout behavior is uniform fleet-wide.
 		st.in = fault.New(k, st.sys.Cluster, st.sys.Trace)
 		st.sys.AttachInjector(st.in)
+
+		// GPUs attach to every non-front-end machine; machine 0 stays a
+		// pure serving front end.
+		if len(f.GPUs) > 0 {
+			cfgs := make([]cluster.GPUConfig, len(f.GPUs))
+			for i, c := range f.GPUs {
+				cfgs[i] = cluster.GPUConfig{
+					Count:         c.Count,
+					MemBytes:      c.MemMB << 20,
+					LinkBandwidth: int64(c.LinkGBps * 1e9),
+					Class:         c.Class,
+					Speed:         c.Speed,
+				}
+			}
+			for _, m := range st.sys.Cluster.Machines() {
+				if m.ID != 0 {
+					m.AddGPUs(cfgs...)
+				}
+			}
+		}
 		if w.RF >= 2 {
 			st.rm = st.sys.EnableReplicationPlane(replication.Config{}, 0)
 		}
@@ -255,6 +298,49 @@ func Run(sp *Spec, opt Options) (*Outcome, error) {
 			})
 		}
 		st.in.Install(faults[s])
+
+		// GPU training riders: a fleet manager places each trainer on the
+		// best device, reacts to XIDs/reclaims/stragglers, and fault hooks
+		// kick its watcher so reactions aren't quantized to the period.
+		if w.Trainers.Count > 0 {
+			st.fleet = gpu.NewFleetConfig(st.sys, fmt.Sprintf("s%d-trainers", s), gpu.Config{
+				Checkpoint: gpu.CheckpointConfig{
+					DeltaBytes:    w.Trainers.CheckpointKB << 10,
+					SnapshotEvery: w.Trainers.SnapshotEvery,
+					Home:          gpu.AutoHome,
+				},
+			})
+			for ti := 0; ti < w.Trainers.Count; ti++ {
+				tp, err := st.fleet.Add(fmt.Sprintf("s%d-trainer-%d", s, ti),
+					w.Trainers.ModelMB<<20, time.Duration(w.Trainers.StepUS*1e3))
+				if err != nil {
+					return nil, fmt.Errorf("scenario %q: shard %d trainer %d: %w", sp.Name, s, ti, err)
+				}
+				st.trainers = append(st.trainers, tp)
+			}
+			fleet := st.fleet
+			st.in.HookGPU = func(cluster.MachineID, int) { fleet.Kick() }
+			fleet.Start()
+			for ti, tp := range st.trainers {
+				tp := tp
+				k.Spawn(fmt.Sprintf("s%d-trainer-%d-driver", s, ti), func(p *sim.Proc) {
+					for p.Now() < horizon {
+						err := tp.Step(p, tp.Device().Machine.ID, w.Trainers.BatchKB<<10)
+						if err == nil {
+							continue
+						}
+						if errors.Is(err, proclet.ErrDead) {
+							return
+						}
+						// Device lost mid-stream: park until the fleet
+						// re-places the proclet, then resume stepping.
+						if tp.AwaitPlaced(p) != nil {
+							return
+						}
+					}
+				})
+			}
+		}
 
 		// The shard's open-loop arrival stream: each tenant's fleet rate is
 		// split evenly across shards, spike events multiply onto the base
@@ -448,6 +534,8 @@ func Run(sp *Spec, opt Options) (*Outcome, error) {
 func collect(sp *Spec, seed int64, pk *sim.ParKernel, shards []*shardState, bucketNS int64) (*Outcome, error) {
 	var generated, served, timeouts, errs, acked uint64
 	var lost, migOK, crashes, restarts, partitions, degrades, heals, promotions, recoveries int64
+	var gpuXids, gpuThrottles, gpuHeals, gpuRestores, gpuEvacs, gpuMitigations, gpuStranded int64
+	var trainerSteps, checkpoints, lostSteps int64
 	var events uint64
 	startNS := int64(0)
 	hist := metrics.NewLogHistogram("latency")
@@ -469,6 +557,20 @@ func collect(sp *Spec, seed int64, pk *sim.ParKernel, shards []*shardState, buck
 			promotions += st.rm.Promotions.Value()
 		}
 		recoveries += st.sys.Sched.Recoveries.Value()
+		gpuXids += st.in.GPUXids.Value()
+		gpuThrottles += st.in.GPUThrottles.Value()
+		gpuHeals += st.in.GPUHeals.Value()
+		if st.fleet != nil {
+			gpuRestores += st.fleet.Restores.Value()
+			gpuEvacs += st.fleet.Evacuations.Value()
+			gpuMitigations += st.fleet.Mitigations.Value()
+			gpuStranded += st.fleet.Stranded.Value()
+			lostSteps += st.fleet.LostSteps()
+			for _, tp := range st.trainers {
+				trainerSteps += tp.CompletedSteps()
+				checkpoints += tp.Checkpoints.Value()
+			}
+		}
 		if st.startNS > startNS {
 			startNS = st.startNS
 		}
@@ -515,6 +617,17 @@ func collect(sp *Spec, seed int64, pk *sim.ParKernel, shards []*shardState, buck
 		"recovery_ms":  recoveryMS(sp, good, bucketNS, startNS, horizon),
 		"events":       float64(events),
 		"windows":      float64(pk.Windows()),
+
+		"gpu_xids":        float64(gpuXids),
+		"gpu_throttles":   float64(gpuThrottles),
+		"gpu_heals":       float64(gpuHeals),
+		"gpu_restores":    float64(gpuRestores),
+		"gpu_evacuations": float64(gpuEvacs),
+		"gpu_mitigations": float64(gpuMitigations),
+		"gpu_stranded":    float64(gpuStranded),
+		"trainer_steps":   float64(trainerSteps),
+		"checkpoints":     float64(checkpoints),
+		"lost_steps":      float64(lostSteps),
 	}
 
 	out := &Outcome{Spec: sp, Seed: seed, Metrics: m, Hist: hist, Pass: true}
@@ -617,6 +730,10 @@ func (o *Outcome) WriteReport(w io.Writer) {
 	}
 	fmt.Fprintf(w, "fleet: %d shards x %d machines = %d machines; %d stores rf=%d + %d servers per shard\n",
 		f.Shards, f.Machines, f.Shards*f.Machines, wl.Stores, wl.RF, wl.Servers)
+	if wl.Trainers.Count > 0 {
+		fmt.Fprintf(w, "gpus: %d classes x %d devices per worker machine; %d trainers (model %d MB, ckpt %d KB) per shard\n",
+			len(f.GPUs), f.GPUsPerMachine(), wl.Trainers.Count, wl.Trainers.ModelMB, wl.Trainers.CheckpointKB)
+	}
 	fmt.Fprintf(w, "horizon %gms, drain %gms, %d tenants, %d events, %d assertions\n",
 		o.Spec.HorizonMS, o.Spec.DrainMS, len(wl.Tenants), len(o.Spec.Events), len(o.Spec.Asserts))
 	for _, ev := range o.Spec.Events {
@@ -624,7 +741,7 @@ func (o *Outcome) WriteReport(w io.Writer) {
 	}
 	fmt.Fprintf(w, "latency: %s\n", o.Hist.String())
 	for _, name := range MetricNames {
-		fmt.Fprintf(w, "  %-12s %s\n", name, fmtMetric(name, o.Metrics[name]))
+		fmt.Fprintf(w, "  %-15s %s\n", name, fmtMetric(name, o.Metrics[name]))
 	}
 	for _, a := range o.Asserts {
 		verdict := "PASS"

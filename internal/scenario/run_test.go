@@ -198,3 +198,123 @@ func TestOptionsSeedZeroUsesSpecSeed(t *testing.T) {
 		t.Errorf("seed = %d, want committed spec seed 7", out.Seed)
 	}
 }
+
+// gpuTrain is a scenario with a GPU training rider: two checkpointed
+// trainers on identical devices, one of which dies fatally mid-run.
+const gpuTrain = `name: gpu-train
+horizon_ms: 40
+fleet:
+  machines: 3
+  gpus:
+    - count: 2
+      mem_mb: 256
+      class: a100
+workload:
+  stores: 2
+  objects: 32
+  write_frac: 0.2
+  tenants:
+    - name: web
+      rate: 20000
+  trainers:
+    count: 2
+    model_mb: 64
+    step_us: 500
+    batch_kb: 64
+    checkpoint_kb: 128
+    snapshot_every: 16
+events:
+  - at_ms: 10
+    kind: gpu_xid
+    machine: 1
+    gpu: 0
+`
+
+// TestGPUXidCheckpointRestore: a fatal device error mid-run must be
+// absorbed by a checkpoint re-placement with zero acknowledged steps
+// lost — the scenario-level restatement of the gpu package's core
+// robustness guarantee.
+func TestGPUXidCheckpointRestore(t *testing.T) {
+	out := mustRun(t, gpuTrain, Options{})
+	m := out.Metrics
+	if m["gpu_xids"] != 1 {
+		t.Errorf("gpu_xids = %g, want 1", m["gpu_xids"])
+	}
+	if m["gpu_restores"] != 1 {
+		t.Errorf("gpu_restores = %g, want 1", m["gpu_restores"])
+	}
+	if m["lost_steps"] != 0 {
+		t.Errorf("lost_steps = %g, want 0 (checkpointing is on)", m["lost_steps"])
+	}
+	// Full-model snapshots every 16th step dominate the step budget, so
+	// the bound is well under the no-snapshot ideal (~80 steps/trainer).
+	if m["trainer_steps"] < 50 {
+		t.Errorf("trainer_steps = %g, want >= 50 (training must keep moving)", m["trainer_steps"])
+	}
+	if m["checkpoints"] < m["trainer_steps"] {
+		t.Errorf("checkpoints = %g < trainer_steps = %g; every acked step must be mirrored",
+			m["checkpoints"], m["trainer_steps"])
+	}
+	if m["lost"] != 0 {
+		t.Errorf("serving lost = %g, want 0", m["lost"])
+	}
+}
+
+// TestGPUStragglerMitigated: a thermal throttle on one device must trip
+// the straggler detector and re-dispatch the victim to a faster spare.
+func TestGPUStragglerMitigated(t *testing.T) {
+	src := strings.Replace(gpuTrain,
+		`  - at_ms: 10
+    kind: gpu_xid
+    machine: 1
+    gpu: 0
+`,
+		`  - at_ms: 10
+    kind: gpu_throttle
+    machine: 1
+    gpu: 0
+    factor: 4
+`, 1)
+	out := mustRun(t, src, Options{})
+	m := out.Metrics
+	if m["gpu_throttles"] != 1 {
+		t.Errorf("gpu_throttles = %g, want 1", m["gpu_throttles"])
+	}
+	if m["gpu_mitigations"] < 1 {
+		t.Errorf("gpu_mitigations = %g, want >= 1 (straggler must be re-dispatched)", m["gpu_mitigations"])
+	}
+	if m["lost_steps"] != 0 {
+		t.Errorf("lost_steps = %g, want 0", m["lost_steps"])
+	}
+}
+
+// TestGPUUncheckpointedXidLosesWork: the same fatal error without a
+// checkpoint mirror must restart training from step zero and report
+// every acknowledged step lost.
+func TestGPUUncheckpointedXidLosesWork(t *testing.T) {
+	src := strings.Replace(gpuTrain, "    checkpoint_kb: 128\n    snapshot_every: 16\n", "", 1)
+	out := mustRun(t, src, Options{})
+	m := out.Metrics
+	if m["gpu_restores"] != 1 {
+		t.Errorf("gpu_restores = %g, want 1", m["gpu_restores"])
+	}
+	if m["lost_steps"] < 1 {
+		t.Errorf("lost_steps = %g, want >= 1 without checkpoints", m["lost_steps"])
+	}
+	if m["checkpoints"] != 0 {
+		t.Errorf("checkpoints = %g, want 0", m["checkpoints"])
+	}
+}
+
+// TestGPUTrainDeterministic: the GPU rider must preserve the DSL's
+// byte-identical-reports contract across worker counts.
+func TestGPUTrainDeterministic(t *testing.T) {
+	var reports [2]bytes.Buffer
+	for i, par := range []int{1, 4} {
+		out := mustRun(t, gpuTrain, Options{Par: par})
+		out.WriteReport(&reports[i])
+	}
+	if !bytes.Equal(reports[0].Bytes(), reports[1].Bytes()) {
+		t.Error("par=1 and par=4 GPU-trainer reports differ; worker count leaked into the simulation")
+	}
+}

@@ -27,12 +27,34 @@ type Spec struct {
 
 // Fleet shapes the simulated cluster: Shards independent kernel shards
 // of Machines machines each. Machine 0 of every shard is the front end
-// (servers, failure-detector monitor) and cannot be crashed.
+// (servers, failure-detector monitor) and cannot be crashed. GPUs, when
+// present, attach to every non-front-end machine (1..Machines-1).
 type Fleet struct {
 	Shards   int
 	Machines int // per shard
 	Cores    int
 	MemMB    int64
+	GPUs     []GPUClass // device classes per non-front-end machine
+}
+
+// GPUsPerMachine is the device count each GPU-bearing machine hosts.
+func (f Fleet) GPUsPerMachine() int {
+	n := 0
+	for _, c := range f.GPUs {
+		n += c.Count
+	}
+	return n
+}
+
+// GPUClass is one heterogeneous device class: Count devices per
+// machine, each with MemMB of device memory, a LinkGBps host link, and
+// a relative Speed (kernel time divides by it).
+type GPUClass struct {
+	Count    int
+	MemMB    int64
+	LinkGBps float64
+	Class    string
+	Speed    float64
 }
 
 // Workload is the serving mix driven against the fleet: preloaded
@@ -50,6 +72,21 @@ type Workload struct {
 	DeadlineUS   float64 // latency deadline; beyond it a request is a timeout
 	SampleStepMS float64 // rate-curve discretization step
 	Tenants      []Tenant
+	Trainers     Trainers
+}
+
+// Trainers is an optional GPU training workload riding alongside the
+// serving mix: Count GPU proclets placed by the fleet manager, each
+// stepping continuously until the horizon. CheckpointKB > 0 mirrors
+// every step's optimizer delta to anti-affine host RAM before the ack,
+// so a fatal device error (gpu_xid) loses at most the in-flight step.
+type Trainers struct {
+	Count         int
+	ModelMB       int64   // device-resident state per trainer
+	StepUS        float64 // kernel time per step at speed 1
+	BatchKB       int64   // per-step batch upload
+	CheckpointKB  int64   // per-step delta ship; 0 disables checkpointing
+	SnapshotEvery int     // every Nth delta is a full snapshot
 }
 
 // Tenant is one aggregate client population: a rate curve over the
@@ -80,9 +117,13 @@ const (
 	KindHeal
 	KindSpike
 	KindMigrate
+	KindGPUXid
+	KindGPUThrottle
+	KindGPUHeal
 )
 
-var kindNames = []string{"crash", "restart", "partition", "degrade", "heal", "spike", "migrate"}
+var kindNames = []string{"crash", "restart", "partition", "degrade", "heal", "spike", "migrate",
+	"gpu_xid", "gpu_throttle", "gpu_heal"}
 
 func (k EventKind) String() string { return kindNames[k] }
 
@@ -108,6 +149,12 @@ type Event struct {
 
 	Store int // migrate: global store index
 	To    int // migrate: global destination machine
+
+	GPU         int     // gpu_*: device index on Machine
+	Xid         int     // gpu_xid: device error code
+	Factor      float64 // gpu_throttle: multiplicative slowdown (>= 1)
+	StallEveryN int     // gpu_throttle: ECC stutter cadence (0 = none)
+	StallUS     float64 // gpu_throttle: stall length per stutter
 }
 
 // EndMS is when the event's disturbance is over: the instant itself,
@@ -131,6 +178,13 @@ func (e Event) String() string {
 		return fmt.Sprintf("spike %s x%g @%gms (%g+%g+%gms)", e.Tenant, e.Mult, e.AtMS, e.RampMS, e.HoldMS, e.DecayMS)
 	case KindMigrate:
 		return fmt.Sprintf("migrate store %d -> m%d @%gms", e.Store, e.To, e.AtMS)
+	case KindGPUXid:
+		return fmt.Sprintf("gpu_xid m%d/gpu%d xid=%d @%gms", e.Machine, e.GPU, e.Xid, e.AtMS)
+	case KindGPUThrottle:
+		return fmt.Sprintf("gpu_throttle m%d/gpu%d x%g stall %gus/%d @%gms",
+			e.Machine, e.GPU, e.Factor, e.StallUS, e.StallEveryN, e.AtMS)
+	case KindGPUHeal:
+		return fmt.Sprintf("gpu_heal m%d/gpu%d @%gms", e.Machine, e.GPU, e.AtMS)
 	default:
 		return fmt.Sprintf("event(%d)", int(e.Kind))
 	}
@@ -157,6 +211,9 @@ var MetricNames = []string{
 	"crashes", "restarts", "partitions", "degrades", "heals",
 	"promotions", "recoveries", "migrations",
 	"recovery_ms", "events", "windows",
+	"gpu_xids", "gpu_throttles", "gpu_heals",
+	"gpu_restores", "gpu_evacuations", "gpu_mitigations", "gpu_stranded",
+	"trainer_steps", "checkpoints", "lost_steps",
 }
 
 var metricSet = func() map[string]bool {
@@ -307,6 +364,8 @@ func decodeFleet(n *node, f *Fleet) error {
 			if f.MemMB, err = v.intVal(ctx); err != nil {
 				return err
 			}
+		case "gpus":
+			f.GPUs, err = decodeGPUs(v)
 		default:
 			return fmt.Errorf("fleet: unknown field %q (line %d)", key, v.line)
 		}
@@ -315,6 +374,46 @@ func decodeFleet(n *node, f *Fleet) error {
 		}
 	}
 	return nil
+}
+
+func decodeGPUs(n *node) ([]GPUClass, error) {
+	if !n.isSeq {
+		return nil, fmt.Errorf(`fleet: field "gpus": expected a sequence, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	var out []GPUClass
+	for gi, item := range n.items {
+		if item.isScalar || item.isSeq {
+			return nil, fmt.Errorf("gpus[%d]: expected a mapping, got a %s (line %d)", gi, item.kindName(), item.line)
+		}
+		c := GPUClass{Count: 1, LinkGBps: 16, Class: "gpu", Speed: 1}
+		for i, key := range item.keys {
+			v := item.vals[i]
+			ctx := fmt.Sprintf("gpus[%d]: field %q", gi, key)
+			var err error
+			var iv int64
+			switch key {
+			case "count":
+				if iv, err = v.intVal(ctx); err == nil {
+					c.Count = int(iv)
+				}
+			case "mem_mb":
+				c.MemMB, err = v.intVal(ctx)
+			case "link_gbps":
+				c.LinkGBps, err = v.floatVal(ctx)
+			case "class":
+				c.Class, err = v.strVal(ctx)
+			case "speed":
+				c.Speed, err = v.floatVal(ctx)
+			default:
+				return nil, fmt.Errorf("gpus[%d]: unknown field %q (line %d)", gi, key, v.line)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 func decodeWorkload(n *node, w *Workload) error {
@@ -359,8 +458,46 @@ func decodeWorkload(n *node, w *Workload) error {
 			w.SampleStepMS, err = v.floatVal(ctx)
 		case "tenants":
 			w.Tenants, err = decodeTenants(v)
+		case "trainers":
+			err = decodeTrainers(v, &w.Trainers)
 		default:
 			return fmt.Errorf("workload: unknown field %q (line %d)", key, v.line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeTrainers(n *node, t *Trainers) error {
+	if n.isScalar || n.isSeq {
+		return fmt.Errorf(`workload: field "trainers": expected a mapping, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	for i, key := range n.keys {
+		v := n.vals[i]
+		ctx := fmt.Sprintf("trainers: field %q", key)
+		var err error
+		var iv int64
+		switch key {
+		case "count":
+			if iv, err = v.intVal(ctx); err == nil {
+				t.Count = int(iv)
+			}
+		case "model_mb":
+			t.ModelMB, err = v.intVal(ctx)
+		case "step_us":
+			t.StepUS, err = v.floatVal(ctx)
+		case "batch_kb":
+			t.BatchKB, err = v.intVal(ctx)
+		case "checkpoint_kb":
+			t.CheckpointKB, err = v.intVal(ctx)
+		case "snapshot_every":
+			if iv, err = v.intVal(ctx); err == nil {
+				t.SnapshotEvery = int(iv)
+			}
+		default:
+			return fmt.Errorf("trainers: unknown field %q (line %d)", key, v.line)
 		}
 		if err != nil {
 			return err
@@ -429,7 +566,8 @@ func decodeEvents(n *node) ([]Event, error) {
 		if item.isScalar || item.isSeq {
 			return nil, fmt.Errorf("events[%d]: expected a mapping, got a %s (line %d)", ei, item.kindName(), item.line)
 		}
-		ev := Event{Kind: -1, Line: item.line, Machine: -1, A: -1, B: -1, Store: -1, To: -1, Mult: math.NaN()}
+		ev := Event{Kind: -1, Line: item.line, Machine: -1, A: -1, B: -1, Store: -1, To: -1,
+			GPU: -1, Xid: 79, Mult: math.NaN()}
 		for i, key := range item.keys {
 			v := item.vals[i]
 			ctx := fmt.Sprintf("events[%d]: field %q", ei, key)
@@ -486,6 +624,22 @@ func decodeEvents(n *node) ([]Event, error) {
 				if iv, err = v.intVal(ctx); err == nil {
 					ev.To = int(iv)
 				}
+			case "gpu":
+				if iv, err = v.intVal(ctx); err == nil {
+					ev.GPU = int(iv)
+				}
+			case "xid":
+				if iv, err = v.intVal(ctx); err == nil {
+					ev.Xid = int(iv)
+				}
+			case "factor":
+				ev.Factor, err = v.floatVal(ctx)
+			case "stall_every":
+				if iv, err = v.intVal(ctx); err == nil {
+					ev.StallEveryN = int(iv)
+				}
+			case "stall_us":
+				ev.StallUS, err = v.floatVal(ctx)
 			default:
 				return nil, fmt.Errorf("events[%d]: unknown field %q (line %d)", ei, key, v.line)
 			}
@@ -591,6 +745,24 @@ func (sp *Spec) validate() error {
 	if len(w.Tenants) == 0 {
 		return fmt.Errorf("scenario %q: workload needs at least one tenant", sp.Name)
 	}
+	for gi, c := range f.GPUs {
+		if c.Count < 1 || c.MemMB < 1 || c.LinkGBps <= 0 || c.Speed <= 0 {
+			return fmt.Errorf("scenario %q: gpus[%d] needs count >= 1, mem_mb >= 1, link_gbps > 0, speed > 0 (got %d/%d/%g/%g)",
+				sp.Name, gi, c.Count, c.MemMB, c.LinkGBps, c.Speed)
+		}
+	}
+	if tr := w.Trainers; tr.Count > 0 {
+		if len(f.GPUs) == 0 {
+			return fmt.Errorf("scenario %q: trainers need fleet.gpus device classes", sp.Name)
+		}
+		if tr.ModelMB < 1 || tr.StepUS <= 0 {
+			return fmt.Errorf("scenario %q: trainers need model_mb >= 1 and step_us > 0 (got %d/%g)",
+				sp.Name, tr.ModelMB, tr.StepUS)
+		}
+		if tr.BatchKB < 0 || tr.CheckpointKB < 0 || tr.SnapshotEvery < 0 {
+			return fmt.Errorf("scenario %q: trainers batch_kb, checkpoint_kb, snapshot_every must be >= 0", sp.Name)
+		}
+	}
 	tenants := map[string]bool{}
 	for ti, t := range w.Tenants {
 		if t.Name == "" {
@@ -677,6 +849,30 @@ func (sp *Spec) validate() error {
 			}
 			if ev.To%f.Machines == 0 {
 				return fmt.Errorf("events[%d]: machine %d is a shard front end; stores live on machines 1.. (line %d)", i, ev.To, ev.Line)
+			}
+		case KindGPUXid, KindGPUThrottle, KindGPUHeal:
+			if len(f.GPUs) == 0 {
+				return fmt.Errorf("events[%d]: %s requires fleet.gpus device classes (line %d)", i, ev.Kind, ev.Line)
+			}
+			if ev.Machine < 0 || ev.Machine >= totalMachines {
+				return fmt.Errorf("events[%d]: machine %d out of range [0, %d) (line %d)", i, ev.Machine, totalMachines, ev.Line)
+			}
+			if ev.Machine%f.Machines == 0 {
+				return fmt.Errorf("events[%d]: machine %d is a shard front end and hosts no GPUs (line %d)", i, ev.Machine, ev.Line)
+			}
+			if per := f.GPUsPerMachine(); ev.GPU < 0 || ev.GPU >= per {
+				return fmt.Errorf("events[%d]: gpu %d out of range [0, %d) (line %d)", i, ev.GPU, per, ev.Line)
+			}
+			if ev.Kind == KindGPUThrottle {
+				if ev.Factor == 0 && ev.StallEveryN == 0 {
+					return fmt.Errorf("events[%d]: gpu_throttle needs factor > 1 and/or stall_every > 0 (line %d)", i, ev.Line)
+				}
+				if ev.Factor != 0 && ev.Factor <= 1 {
+					return fmt.Errorf("events[%d]: gpu_throttle factor must be > 1 (got %g) (line %d)", i, ev.Factor, ev.Line)
+				}
+				if ev.StallEveryN > 0 && ev.StallUS <= 0 {
+					return fmt.Errorf("events[%d]: gpu_throttle stall_every needs stall_us > 0 (line %d)", i, ev.Line)
+				}
 			}
 		}
 	}

@@ -65,7 +65,7 @@ func TestParseErrorPaths(t *testing.T) {
 		{
 			"unknown event kind",
 			minimal + "events:\n  - at_ms: 1\n    kind: explode\n    machine: 1\n",
-			`events[0]: unknown event kind "explode" (want crash, restart, partition, degrade, heal, spike, migrate) (line 13)`,
+			`events[0]: unknown event kind "explode" (want crash, restart, partition, degrade, heal, spike, migrate, gpu_xid, gpu_throttle, gpu_heal) (line 13)`,
 		},
 		{
 			"event missing kind",
@@ -187,5 +187,164 @@ func TestEventEndMSAndString(t *testing.T) {
 	}
 	if s := sp.Events[1].String(); !strings.Contains(s, "crash") {
 		t.Errorf("Event.String() = %q, want kind name in it", s)
+	}
+}
+
+// miniGPU extends the minimal scenario with a GPU pool and a trainer.
+const miniGPU = `name: mini-gpu
+horizon_ms: 4
+fleet:
+  machines: 3
+  gpus:
+    - count: 2
+      mem_mb: 256
+      class: a100
+      speed: 2
+    - count: 1
+      mem_mb: 128
+      link_gbps: 8
+      class: t4
+      speed: 0.5
+workload:
+  stores: 2
+  objects: 32
+  tenants:
+    - name: web
+      rate: 50000
+  trainers:
+    count: 1
+    model_mb: 64
+    step_us: 500
+    batch_kb: 64
+    checkpoint_kb: 128
+    snapshot_every: 16
+`
+
+func TestParseGPUConfig(t *testing.T) {
+	sp, err := Parse(miniGPU +
+		"events:\n" +
+		"  - at_ms: 1\n    kind: gpu_throttle\n    machine: 1\n    gpu: 2\n    factor: 3\n    stall_every: 4\n    stall_us: 200\n" +
+		"  - at_ms: 2\n    kind: gpu_xid\n    machine: 2\n    gpu: 0\n    xid: 48\n" +
+		"  - at_ms: 3\n    kind: gpu_heal\n    machine: 1\n    gpu: 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sp.Fleet
+	if len(f.GPUs) != 2 || f.GPUsPerMachine() != 3 {
+		t.Fatalf("gpus = %+v, want 2 classes, 3 devices per machine", f.GPUs)
+	}
+	if f.GPUs[0].Class != "a100" || f.GPUs[0].Speed != 2 || f.GPUs[0].LinkGBps != 16 {
+		t.Errorf("class 0 = %+v, want a100 speed 2 default link 16", f.GPUs[0])
+	}
+	if f.GPUs[1].Count != 1 || f.GPUs[1].LinkGBps != 8 || f.GPUs[1].Speed != 0.5 {
+		t.Errorf("class 1 = %+v", f.GPUs[1])
+	}
+	tr := sp.Workload.Trainers
+	if tr.Count != 1 || tr.ModelMB != 64 || tr.StepUS != 500 || tr.BatchKB != 64 ||
+		tr.CheckpointKB != 128 || tr.SnapshotEvery != 16 {
+		t.Errorf("trainers = %+v", tr)
+	}
+	if sp.Events[0].Factor != 3 || sp.Events[0].StallEveryN != 4 || sp.Events[0].StallUS != 200 {
+		t.Errorf("throttle event = %+v", sp.Events[0])
+	}
+	if sp.Events[1].Xid != 48 {
+		t.Errorf("xid = %d, want 48", sp.Events[1].Xid)
+	}
+	for i, want := range []string{
+		"gpu_throttle m1/gpu2 x3 stall 200us/4 @1ms",
+		"gpu_xid m2/gpu0 xid=48 @2ms",
+		"gpu_heal m1/gpu2 @3ms",
+	} {
+		if got := sp.Events[i].String(); got != want {
+			t.Errorf("events[%d].String() = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestParseGPUDefaultXid(t *testing.T) {
+	sp, err := Parse(miniGPU + "events:\n  - at_ms: 1\n    kind: gpu_xid\n    machine: 1\n    gpu: 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Events[0].Xid != 79 {
+		t.Errorf("default xid = %d, want 79 (GPU fell off the bus)", sp.Events[0].Xid)
+	}
+}
+
+func TestParseGPUErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			"gpu event without gpus",
+			minimal + "events:\n  - at_ms: 1\n    kind: gpu_xid\n    machine: 1\n    gpu: 0\n",
+			"events[0]: gpu_xid requires fleet.gpus device classes",
+		},
+		{
+			"trainers without gpus",
+			minimal + "  trainers:\n    count: 1\n    model_mb: 64\n    step_us: 500\n",
+			"trainers need fleet.gpus device classes",
+		},
+		{
+			"gpu event on front end",
+			miniGPU + "events:\n  - at_ms: 1\n    kind: gpu_xid\n    machine: 0\n    gpu: 0\n",
+			"machine 0 is a shard front end and hosts no GPUs",
+		},
+		{
+			"gpu index out of range",
+			miniGPU + "events:\n  - at_ms: 1\n    kind: gpu_heal\n    machine: 1\n    gpu: 3\n",
+			"events[0]: gpu 3 out of range [0, 3)",
+		},
+		{
+			"gpu index missing",
+			miniGPU + "events:\n  - at_ms: 1\n    kind: gpu_xid\n    machine: 1\n",
+			"events[0]: gpu -1 out of range [0, 3)",
+		},
+		{
+			"throttle without parameters",
+			miniGPU + "events:\n  - at_ms: 1\n    kind: gpu_throttle\n    machine: 1\n    gpu: 0\n",
+			"gpu_throttle needs factor > 1 and/or stall_every > 0",
+		},
+		{
+			"throttle factor too small",
+			miniGPU + "events:\n  - at_ms: 1\n    kind: gpu_throttle\n    machine: 1\n    gpu: 0\n    factor: 0.5\n",
+			"gpu_throttle factor must be > 1 (got 0.5)",
+		},
+		{
+			"stutter without stall length",
+			miniGPU + "events:\n  - at_ms: 1\n    kind: gpu_throttle\n    machine: 1\n    gpu: 0\n    stall_every: 3\n",
+			"gpu_throttle stall_every needs stall_us > 0",
+		},
+		{
+			"bad gpu class",
+			strings.Replace(miniGPU, "      speed: 0.5\n", "      speed: -1\n", 1),
+			"gpus[1] needs count >= 1, mem_mb >= 1, link_gbps > 0, speed > 0",
+		},
+		{
+			"trainer missing model",
+			strings.Replace(miniGPU, "    model_mb: 64\n", "", 1),
+			"trainers need model_mb >= 1 and step_us > 0",
+		},
+		{
+			"unknown trainer field",
+			strings.Replace(miniGPU, "    count: 1\n", "    count: 1\n    optimizer: adam\n", 1),
+			`trainers: unknown field "optimizer"`,
+		},
+		{
+			"unknown gpu field",
+			strings.Replace(miniGPU, "      class: a100\n", "      class: a100\n      hbm: 3\n", 1),
+			`gpus[0]: unknown field "hbm"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse accepted invalid scenario:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q\nwant substring %q", err, tc.want)
+			}
+		})
 	}
 }
