@@ -8,7 +8,8 @@
 //
 //	qsctl [-scenario <name>] [-horizon-ms N] [-events] [-trace-out run.json]
 //	qsctl -scenario list [-scenario-dir scenarios]
-//	qsctl run <file.yaml> [-seed N] [-par P] [-report out.json] [-trace-out out.txt] [-no-assert]
+//	qsctl run <file.yaml> [-seed N] [-par P] [-report out.json] [-trace-out out.txt] [-flight-out dump.txt] [-no-assert]
+//	qsctl top <file.yaml> [-seed N] [-par P]
 //	qsctl analyze run.jsonl [-top N]
 //
 // `qsctl run` executes a declarative scenario file (see
@@ -18,6 +19,17 @@
 // deterministic — at a fixed seed the report is byte-identical at any
 // -par worker count. A failed assertion exits nonzero; -report writes
 // the machine-readable verdict.
+//
+// `qsctl top` replays a scenario with per-window SLO history retained
+// and renders the windowed serving state an operator's dashboard would
+// show: per-window goodput, tail latency, error rate, and which
+// burn-rate rules had an open incident during that window. It needs an
+// `slo:` block in the scenario file.
+//
+// -flight-out (with `qsctl run`) writes the merged per-shard flight
+// recorder — the last control-plane events before trouble — whenever an
+// assertion fails or an incident opened during the run; CI uploads
+// these dumps as failure artifacts.
 //
 // -trace-out enables causal span tracing and resource telemetry for
 // the run and writes the result to the given path: a .json file is
@@ -51,6 +63,7 @@ import (
 	"repro/internal/load"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/proclet"
 	"repro/internal/replication"
 	scen "repro/internal/scenario"
@@ -150,6 +163,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(args) > 0 && args[0] == "run" {
 		return runScenarioFile(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "top" {
+		return runTop(args[1:], stdout, stderr)
 	}
 
 	fs := flag.NewFlagSet("qsctl", flag.ContinueOnError)
@@ -253,6 +269,7 @@ func runScenarioFile(args []string, stdout, stderr io.Writer) int {
 	par := fs.Int("par", 1, "host worker count (must not change the report bytes)")
 	report := fs.String("report", "", "write the machine-readable JSON verdict here")
 	traceOut := fs.String("trace-out", "", "write the merged control-plane trace here")
+	flightOut := fs.String("flight-out", "", "write the flight recorder dump here when an assertion fails or an incident opened")
 	noAssert := fs.Bool("no-assert", false, "evaluate and print assertions but always exit 0 (for determinism sweeps at non-committed seeds)")
 	// Accept both `qsctl run file.yaml -seed 7` and `qsctl run -seed 7
 	// file.yaml`: the scenario file may come before the flags.
@@ -268,7 +285,7 @@ func runScenarioFile(args []string, stdout, stderr io.Writer) int {
 		file = fs.Arg(0)
 	case file != "" && fs.NArg() == 0:
 	default:
-		fmt.Fprintln(stderr, "usage: qsctl run <scenario.yaml> [-seed N] [-par P] [-report out.json] [-trace-out out.txt] [-no-assert]")
+		fmt.Fprintln(stderr, "usage: qsctl run <scenario.yaml> [-seed N] [-par P] [-report out.json] [-trace-out out.txt] [-flight-out dump.txt] [-no-assert]")
 		return 2
 	}
 	src, err := os.ReadFile(file)
@@ -308,10 +325,145 @@ func runScenarioFile(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	// The flight recorder dump is the post-mortem artifact: write it
+	// only when there is something to autopsy — a failed assertion or
+	// an incident the SLO plane opened during the run.
+	if *flightOut != "" && (!out.Pass || out.Metrics["incidents_opened"] > 0) {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "qsctl: %v\n", err)
+			return 1
+		}
+		werr := out.WriteFlightDump(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "qsctl: writing flight dump: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote flight recorder dump to %s\n", *flightOut)
+	}
 	if !out.Pass && !*noAssert {
 		return 1
 	}
 	return 0
+}
+
+// runTop implements `qsctl top <file.yaml>`: replay the scenario with
+// per-window SLO history retained and render the windowed serving
+// state, merged across shards, with open incidents marked per window.
+func runTop(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qsctl top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 0, "seed override (0: the scenario's committed seed)")
+	par := fs.Int("par", 1, "host worker count (must not change the table)")
+	file := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		file, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case file == "" && fs.NArg() == 1:
+		file = fs.Arg(0)
+	case file != "" && fs.NArg() == 0:
+	default:
+		fmt.Fprintln(stderr, "usage: qsctl top <scenario.yaml> [-seed N] [-par P]")
+		return 2
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(stderr, "qsctl: %v\n", err)
+		return 1
+	}
+	sp, err := scen.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "qsctl: %s: %v\n", file, err)
+		return 2
+	}
+	if !sp.SLO.Enabled() {
+		fmt.Fprintf(stderr, "qsctl: %s: scenario has no slo block — nothing to render\n", file)
+		return 2
+	}
+	out, err := scen.Run(sp, scen.Options{Seed: *seed, Par: *par, KeepWindows: true})
+	if err != nil {
+		fmt.Fprintf(stderr, "qsctl: %v\n", err)
+		return 1
+	}
+	writeTop(stdout, out)
+	return 0
+}
+
+// writeTop renders the per-window SLO table. Shard histories are
+// merged by absolute window index: counts sum, tails take the
+// worst-shard p999 (the operator cares about the slowest shard, and
+// per-window histograms are not retained to re-aggregate exactly).
+func writeTop(w io.Writer, out *scen.Outcome) {
+	sp := out.Spec
+	merged := map[int]*slo.WindowStat{}
+	maxIdx := -1
+	for _, hist := range out.SLOHistory {
+		for i := range hist {
+			ws := &hist[i]
+			m, ok := merged[ws.Index]
+			if !ok {
+				cp := *ws
+				merged[ws.Index] = &cp
+				if ws.Index > maxIdx {
+					maxIdx = ws.Index
+				}
+				continue
+			}
+			m.Count += ws.Count
+			m.Good += ws.Good
+			m.Errors += ws.Errors
+			if ws.P999NS > m.P999NS {
+				m.P999NS = ws.P999NS
+			}
+			if ws.MaxNS > m.MaxNS {
+				m.MaxNS = ws.MaxNS
+			}
+		}
+	}
+	fmt.Fprintf(w, "slo top: %s seed %d — %gms windows, %d shards, %d rules\n",
+		sp.Name, out.Seed, sp.SLO.WindowMS, len(out.SLOHistory), len(sp.SLO.Rules))
+	fmt.Fprintf(w, "%4s %10s %8s %12s %10s %6s  %s\n",
+		"win", "start", "reqs", "goodput r/s", "p999 ms", "err%", "incidents")
+	for idx := 0; idx <= maxIdx; idx++ {
+		ws, ok := merged[idx]
+		if !ok {
+			continue
+		}
+		var open []string
+		for i := range out.Incidents {
+			inc := &out.Incidents[i]
+			if inc.OpenAt <= ws.End && (inc.Open || ws.End <= inc.CloseAt) {
+				open = append(open, fmt.Sprintf("%s/%s", inc.Subject, inc.Rule))
+			}
+		}
+		fmt.Fprintf(w, "%4d %10.1f %8d %12.0f %10.4f %6.2f  %s\n",
+			idx, float64(ws.Start)/1e6, ws.Count, ws.GoodputRPS(),
+			float64(ws.P999NS)/1e6, ws.ErrorRate()*100, strings.Join(open, " "))
+	}
+	if len(out.Incidents) > 0 {
+		fmt.Fprintf(w, "incidents:\n")
+		for i := range out.Incidents {
+			inc := &out.Incidents[i]
+			closeCol := "open"
+			if !inc.Open {
+				closeCol = fmt.Sprintf("%.1fms", float64(inc.CloseAt)/1e6)
+			}
+			cause := inc.Cause
+			if cause == "" {
+				cause = "-"
+			}
+			fmt.Fprintf(w, "  [%s] %s %s: %.1fms -> %s cause=%s\n",
+				inc.Severity, inc.Subject, inc.Rule,
+				float64(inc.OpenAt)/1e6, closeCol, cause)
+		}
+	}
 }
 
 // runAnalyze implements `qsctl analyze run.jsonl`.

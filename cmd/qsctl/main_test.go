@@ -275,6 +275,158 @@ func TestRunScenarioReportAndTraceFiles(t *testing.T) {
 	}
 }
 
+// TestAnalyzeMalformedJSONLExits1: a corrupt line in the record stream
+// must fail the whole analysis with the offending line number, not be
+// silently skipped.
+func TestAnalyzeMalformedJSONLExits1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	src := `{"type":"span","id":1,"kind":"rpc","name":"a","start_ns":0,"end_ns":10}
+{"type":"span","id":2,"kind":"rpc","name":"b","start_ns":0,"end_ns":10}
+{"type":"span","id":3,"kind":"rpc","na
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"analyze", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "line 3") {
+		t.Errorf("stderr missing offending line number:\n%s", errb.String())
+	}
+
+	// An unknown record type is just as fatal: the stream contract is
+	// span|sample, and anything else means a producer/consumer skew.
+	if err := os.WriteFile(path, []byte(`{"type":"mystery"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"analyze", path}, &out, &errb); code != 1 {
+		t.Fatalf("unknown type: exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "line 1") || !strings.Contains(errb.String(), "mystery") {
+		t.Errorf("stderr missing diagnostic:\n%s", errb.String())
+	}
+}
+
+const sloScenario = `name: clislo
+horizon_ms: 6
+fleet:
+  machines: 4
+workload:
+  stores: 2
+  rf: 2
+  objects: 48
+  write_frac: 0.2
+  tenants:
+    - name: web
+      rate: 60000
+events:
+  - at_ms: 2
+    kind: crash
+    machine: 1
+  - at_ms: 4
+    kind: restart
+    machine: 1
+slo:
+  window_ms: 0.5
+  windows: 3
+  rules:
+    - kind: goodput_below
+      floor_rps: 30000
+      for: 2
+      severity: page
+assertions:
+  - metric: lost
+    op: ==
+    value: 0
+`
+
+// TestTopRendersWindowedSLOState: `qsctl top` must replay the scenario
+// with window history retained and print the per-window table plus the
+// incident banner, byte-identically across -par counts.
+func TestTopRendersWindowedSLOState(t *testing.T) {
+	path := writeScenario(t, sloScenario)
+	var first string
+	for _, par := range []string{"1", "4"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"top", path, "-par", par}, &out, &errb); code != 0 {
+			t.Fatalf("-par %s: exit = %d (stderr: %s)", par, code, errb.String())
+		}
+		if first == "" {
+			first = out.String()
+			continue
+		}
+		if out.String() != first {
+			t.Errorf("-par %s: top table differs from -par 1:\n%s", par, out.String())
+		}
+	}
+	for _, want := range []string{"slo top: clislo", "goodput r/s", "p999 ms", "win"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("top output missing %q:\n%s", want, first)
+		}
+	}
+	// A scenario without an slo block has nothing to render.
+	bare := writeScenario(t, testScenario)
+	var out, errb bytes.Buffer
+	if code := run([]string{"top", bare}, &out, &errb); code != 2 {
+		t.Fatalf("no slo block: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no slo block") {
+		t.Errorf("stderr missing diagnostic:\n%s", errb.String())
+	}
+}
+
+// TestRunFlightOut: -flight-out must write the flight recorder dump
+// when an assertion fails, and skip it on a clean green run.
+func TestRunFlightOut(t *testing.T) {
+	failing := writeScenario(t, strings.Replace(testScenario, "    value: 100\n", "    value: 1000000000\n", 1))
+	dump := filepath.Join(t.TempDir(), "flight.txt")
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", failing, "-flight-out", dump}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	raw, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("flight dump not written: %v", err)
+	}
+	if !strings.Contains(string(raw), "flight recorder:") {
+		t.Errorf("dump missing header:\n%s", raw)
+	}
+
+	// Green run, no incidents: no dump.
+	green := writeScenario(t, testScenario)
+	dump2 := filepath.Join(t.TempDir(), "flight.txt")
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"run", green, "-flight-out", dump2}, &out, &errb); code != 0 {
+		t.Fatalf("green exit = %d (stderr: %s)", code, errb.String())
+	}
+	if _, err := os.Stat(dump2); !os.IsNotExist(err) {
+		t.Errorf("green run wrote a flight dump (err=%v)", err)
+	}
+
+	// Passing run that opened an incident: the dump is still the
+	// post-mortem artifact, so it must be written.
+	slo := writeScenario(t, sloScenario)
+	dump3 := filepath.Join(t.TempDir(), "flight.txt")
+	out.Reset()
+	errb.Reset()
+	code := run([]string{"run", slo, "-flight-out", dump3}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("slo run exit = %d (stderr: %s, stdout: %s)", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "incidents_opened") {
+		t.Fatalf("report missing slo metrics:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "incidents_opened 0") {
+		t.Skipf("scenario opened no incident at this seed; dump rule not exercised")
+	}
+	if _, err := os.ReadFile(dump3); err != nil {
+		t.Errorf("incident run did not write flight dump: %v", err)
+	}
+}
+
 // TestScenarioListIncludesFiles: `-scenario list` must enumerate the
 // scenario-file library alongside the built-ins, flagging bad files
 // inline rather than erroring out.

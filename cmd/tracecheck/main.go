@@ -7,7 +7,15 @@
 //
 // Usage:
 //
-//	tracecheck [-require-causal] [-min-events N] run.json [more.json ...]
+//	tracecheck [-require-causal] [-min-events N] [-subset full.json] [-max-frac F] run.json [more.json ...]
+//
+// -subset names the full (unsampled) export of the same run: every
+// checked file's complete-span events must then be an ID-keyed subset
+// of the full file with byte-identical fields, and prefix-closed — a
+// kept span's parent is kept too, so sampled trees stay walkable.
+// -max-frac additionally bounds the sampled span count to a fraction
+// of the full count; it is the CI gate that keeps tail-based sampling
+// honest about its claimed volume reduction.
 //
 // Exits 0 when every file passes, 1 on any violation.
 package main
@@ -46,16 +54,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	requireCausal := fs.Bool("require-causal", false,
 		"require at least one migrate span descending from a pressure/sched/repl span")
 	minEvents := fs.Int("min-events", 1, "minimum number of trace events per file")
+	subset := fs.String("subset", "", "full export: checked files' spans must be an ID-keyed, prefix-closed subset with identical fields")
+	maxFrac := fs.Float64("max-frac", 0, "with -subset: bound sampled span count to this fraction of the full count (0: unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: tracecheck [-require-causal] [-min-events N] run.json ...")
+		fmt.Fprintln(stderr, "usage: tracecheck [-require-causal] [-min-events N] [-subset full.json] [-max-frac F] run.json ...")
 		return 2
+	}
+	if *maxFrac != 0 && *subset == "" {
+		fmt.Fprintln(stderr, "tracecheck: -max-frac requires -subset")
+		return 2
+	}
+	var full map[uint64]string
+	if *subset != "" {
+		var err error
+		if full, err = spanEvents(*subset); err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", *subset, err)
+			return 1
+		}
 	}
 	ok := true
 	for _, path := range fs.Args() {
-		if err := checkFile(path, *requireCausal, *minEvents); err != nil {
+		err := checkFile(path, *requireCausal, *minEvents)
+		if err == nil && full != nil {
+			err = checkSubset(path, full, *maxFrac)
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
 			ok = false
 			continue
@@ -66,6 +92,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// spanEvents loads a trace file's complete-span events keyed by span
+// ID, each canonicalized back to JSON for field-exact comparison.
+func spanEvents(path string) (map[uint64]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("not valid JSON: %w", err)
+	}
+	out := make(map[uint64]string, len(doc.TraceEvents))
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		id, ok := asUint(ev.Args["span"])
+		if !ok || id == 0 {
+			return nil, fmt.Errorf("event %d (%s) missing args.span", i, ev.Name)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("duplicate span id %d", id)
+		}
+		canon, err := json.Marshal(ev)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = string(canon)
+	}
+	return out, nil
+}
+
+// checkSubset verifies the sampled-export contract against the full
+// export: every sampled span exists in the full set with identical
+// fields, every sampled span's parent (when the full set has it) is
+// also sampled, and the sampled volume honors the claimed reduction.
+func checkSubset(path string, full map[uint64]string, maxFrac float64) error {
+	sampled, err := spanEvents(path)
+	if err != nil {
+		return err
+	}
+	for id, canon := range sampled {
+		ref, ok := full[id]
+		if !ok {
+			return fmt.Errorf("span %d not present in full export", id)
+		}
+		if canon != ref {
+			return fmt.Errorf("span %d differs from full export:\n  sampled: %s\n  full:    %s", id, canon, ref)
+		}
+	}
+	// Prefix-closure: a sampled span whose parent the full export
+	// knows must carry that parent along, or the tree is unwalkable.
+	var probe event
+	for id, canon := range sampled {
+		if err := json.Unmarshal([]byte(canon), &probe); err != nil {
+			return err
+		}
+		parent, _ := asUint(probe.Args["parent"])
+		if parent == 0 {
+			continue
+		}
+		if _, inFull := full[parent]; !inFull {
+			continue
+		}
+		if _, inSampled := sampled[parent]; !inSampled {
+			return fmt.Errorf("span %d kept but its parent %d was dropped", id, parent)
+		}
+	}
+	if maxFrac > 0 && float64(len(sampled)) > maxFrac*float64(len(full)) {
+		return fmt.Errorf("%d sampled spans of %d full: exceeds -max-frac %g (%.1fx reduction required)",
+			len(sampled), len(full), maxFrac, 1/maxFrac)
+	}
+	return nil
 }
 
 func checkFile(path string, requireCausal bool, minEvents int) error {

@@ -165,8 +165,16 @@ func (s *System) Config() Config { return s.cfg }
 // schedules no kernel events — so it never perturbs the simulated
 // schedule. Idempotent; call before Start.
 func (s *System) EnableTracing() *obs.Tracer {
+	return s.EnableTracingAt(0)
+}
+
+// EnableTracingAt is EnableTracing with an explicit span-ID base:
+// shard s of a partitioned run passes obs.SpanID(s)<<32 so the merged
+// export has globally unique, shard-sortable span IDs. Idempotent;
+// call before Start.
+func (s *System) EnableTracingAt(base obs.SpanID) *obs.Tracer {
 	if s.Obs == nil {
-		s.Obs = obs.NewTracer(s.K)
+		s.Obs = obs.NewTracerWithBase(s.K, base)
 		s.Cluster.Fabric.SetTracer(s.Obs)
 		s.Runtime.SetTracer(s.Obs)
 	}

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -563,6 +566,58 @@ func TestExtServeShape(t *testing.T) {
 	}
 	if res.EventsProcessed == 0 {
 		t.Error("missing event count")
+	}
+}
+
+// TestExtServeTraceSampling drives the traced path: per-shard tracers
+// with disjoint ID bases, tail-based sampling against the run's
+// incidents, and both exports written. The in-run assertions already
+// cover P={1,4,8} byte-identity and the 10x reduction bound; here we
+// sweep five seeds, and at seed 0 re-run to pin byte-identical exports
+// across repeat runs.
+func TestExtServeTraceSampling(t *testing.T) {
+	dir := t.TempDir()
+	SetTraceDir(dir)
+	defer SetTraceDir("")
+	defer SetBaseSeed(0)
+	fullPath := filepath.Join(dir, "ext-serve.full.trace.json")
+	sampledPath := filepath.Join(dir, "ext-serve.trace.json")
+	for _, seed := range []int64{0, 1, 2, 3, 4} {
+		SetBaseSeed(seed)
+		res, err := Run("ext-serve", TestScale)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		full, sampled := res.Values["trace_spans_full"], res.Values["trace_spans_sampled"]
+		if full <= 0 || sampled <= 0 {
+			t.Fatalf("seed %d: span counts full=%v sampled=%v", seed, full, sampled)
+		}
+		if sampled*10 > full {
+			t.Errorf("seed %d: sampled %v of %v spans — misses the 10x bound", seed, sampled, full)
+		}
+		if res.Values["slo_windows"] <= 0 {
+			t.Errorf("seed %d: slo plane closed no windows", seed)
+		}
+		if seed != 0 {
+			continue
+		}
+		fb1, err := os.ReadFile(fullPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb1, err := os.ReadFile(sampledPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run("ext-serve", TestScale); err != nil {
+			t.Fatalf("seed %d repeat: %v", seed, err)
+		}
+		fb2, _ := os.ReadFile(fullPath)
+		sb2, _ := os.ReadFile(sampledPath)
+		if !bytes.Equal(fb1, fb2) || !bytes.Equal(sb1, sb2) {
+			t.Errorf("seed %d: exports differ across identical runs (full %d vs %d bytes, sampled %d vs %d)",
+				seed, len(fb1), len(fb2), len(sb1), len(sb2))
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gpu"
+	"repro/internal/obs/slo"
 	"repro/internal/proclet"
 	"repro/internal/runpar"
 	"repro/internal/sim"
@@ -86,8 +87,29 @@ type gpufleetOut struct {
 	mitigations int64
 	stranded    int64
 	xids        int64
+	sloWindows  int // step-latency SLO windows closed
+	opened      int // incidents opened by the step-latency SLO
+	resolved    int
 	events      uint64
 	trace       []string
+}
+
+// gpufleetSLO watches the fleet's per-step latency: 20ms windows, a
+// ring of 2, paging when the windowed p999 blows past 6x the clean
+// kernel time. The throttle phase trips it; the heal (or a straggler
+// re-dispatch) resolves it — so the incident stream is the operator's
+// view of the gray failure the detector never confirms.
+func gpufleetSLO(cfg gpufleetCfg) *slo.Monitor {
+	return slo.New(slo.Config{
+		Window:  sim.Time(20 * time.Millisecond),
+		Windows: 2,
+		Rules: []slo.Rule{
+			{Kind: slo.P999Above, BoundMS: 6 * float64(cfg.stepKernel) / float64(time.Millisecond),
+				For: 1, Severity: "page"},
+		},
+		Subject: "gpufleet",
+		Machine: -1,
+	})
 }
 
 // runGPUFleetOnce drives cfg.trainers checkpointed trainers to the
@@ -153,6 +175,12 @@ func runGPUFleetOnce(cfg gpufleetCfg, inject, ckpt, mitigate bool) (gpufleetOut,
 		in.Install(gpufleetSchedule())
 	}
 
+	// The step-latency SLO monitor: host-side arithmetic over the same
+	// step completions the drivers already see, fed in kernel schedule
+	// order, so it is deterministic and costs no kernel events.
+	mon := gpufleetSLO(cfg)
+	mon.Log = sys.Trace
+
 	var wg sim.WaitGroup
 	for i, gp := range trainers {
 		i, gp := i, gp
@@ -162,7 +190,9 @@ func runGPUFleetOnce(cfg gpufleetCfg, inject, ckpt, mitigate bool) (gpufleetOut,
 			// CompletedSteps can roll back on an uncheckpointed restore,
 			// so the loop is over remaining work, not an iteration count.
 			for gp.CompletedSteps() < cfg.targetSteps {
+				before := p.Now()
 				err := gp.Step(p, gp.Device().Machine.ID, cfg.batchBytes)
+				mon.Observe(p.Now(), int64(p.Now()-before), err != nil)
 				if err == nil {
 					continue
 				}
@@ -193,6 +223,10 @@ func runGPUFleetOnce(cfg gpufleetCfg, inject, ckpt, mitigate bool) (gpufleetOut,
 	for _, gp := range trainers {
 		out.steps += gp.CompletedSteps()
 	}
+	mon.Finish(out.makespan)
+	out.sloWindows = mon.WindowsClosed()
+	out.opened = mon.Opened()
+	out.resolved = mon.Resolved()
 	out.lostSteps = fleet.LostSteps()
 	out.restores = fleet.Restores.Value()
 	out.evacs = fleet.Evacuations.Value()
@@ -256,6 +290,8 @@ func runExtGPUFleet(scale Scale) (*Result, error) {
 	res.addf("no-mitigation pays %.1f%% over robust (stragglers crawl at the throttled rate);",
 		100*(ms(nomit.makespan)/ms(robust.makespan)-1))
 	res.addf("no-checkpoint redoes %d acked steps after the XID.", nockpt.lostSteps)
+	res.addf("step-latency slo (robust): %d windows, %d incidents opened, %d resolved; no-mitigation: %d opened, %d resolved",
+		robust.sloWindows, robust.opened, robust.resolved, nomit.opened, nomit.resolved)
 
 	res.set("makespan_ms_robust", ms(robust.makespan))
 	res.set("makespan_ms_nomit", ms(nomit.makespan))
@@ -273,5 +309,9 @@ func runExtGPUFleet(scale Scale) (*Result, error) {
 	res.set("mitigations", float64(robust.mitigations))
 	res.set("stranded", float64(robust.stranded))
 	res.set("xids", float64(robust.xids))
+	res.set("slo_windows", float64(robust.sloWindows))
+	res.set("incidents_opened", float64(robust.opened))
+	res.set("incidents_resolved", float64(robust.resolved))
+	res.set("nomit_incidents_opened", float64(nomit.opened))
 	return res, nil
 }

@@ -29,8 +29,12 @@ package experiments
 // histogram snapshots, merged trace — must be identical.
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
 	"time"
 
@@ -38,6 +42,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/load"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -132,6 +138,43 @@ func serveConfig(scale Scale) serveCfg {
 // phase, so attribution is independent of when service completes.
 var servePhases = []string{"diurnal", "flash", "migrate"}
 
+// errServeDeadline marks a request span that missed the serving
+// deadline, so tail-based sampling retains its causal tree.
+var errServeDeadline = errors.New("deadline exceeded")
+
+// serveSLO is the always-on streaming SLO plane for the serving fleet:
+// half-millisecond windows, a burn-rate ring of 4, paging when the
+// windowed p999 blows through 3x the deadline and warning when the
+// in-window timeout fraction passes 20%. The monitor is host-side
+// arithmetic over completions the servers already observe — it
+// schedules no kernel events and consumes no randomness, so enabling
+// it cannot move a single gated metric.
+func serveSLO(cfg serveCfg, shard int) *slo.Monitor {
+	return slo.New(slo.Config{
+		Window:  sim.Time(500 * time.Microsecond),
+		Windows: 4,
+		Rules: []slo.Rule{
+			{Kind: slo.P999Above, BoundMS: 3 * float64(cfg.deadline) / 1e6,
+				For: 2, Severity: "page"},
+			{Kind: slo.ErrorRateAbove, Ceiling: 0.20, For: 2},
+		},
+		Subject: fmt.Sprintf("s%d", shard),
+		Machine: -1,
+	})
+}
+
+// serveSampleConfig is the tail-based retention policy for the merged
+// ext-serve trace: keep trees whose end-to-end extent beats the
+// deadline, trees carrying errors, trees overlapping an incident, and
+// a seeded 1-in-64 head sample.
+func serveSampleConfig(cfg serveCfg) slo.SampleConfig {
+	return slo.SampleConfig{
+		Seed:      uint64(seeded(37)),
+		HeadEvery: 64,
+		TailNS:    cfg.deadline.Nanoseconds(),
+	}
+}
+
 func (cfg serveCfg) totalClients() float64 {
 	var n float64
 	for _, t := range cfg.tenants {
@@ -163,6 +206,10 @@ type serveDet struct {
 	Errors      []uint64
 	Migrations  []int64
 	StartNS     []int64 // per-shard injection start (after preload)
+	Opened      []int   // per-shard SLO incidents opened
+	Resolved    []int   // per-shard SLO incidents resolved
+	SLOWindows  []int   // per-shard SLO windows closed
+	Spans       []int   // per-shard span count (0 when untraced)
 	Windows     uint64
 	CrossMsgs   uint64
 	Phases      []metrics.LogSnapshot // merged across shards, per phase
@@ -175,6 +222,14 @@ type serveOutcome struct {
 	phases  []*metrics.LogHistogram
 	overall *metrics.LogHistogram
 	wallMS  float64
+
+	// Trace exports, only when a trace directory is configured: the
+	// full merged Chrome trace, the tail-sampled subset, and the
+	// sampler's retention accounting. Byte-compared across the P sweep.
+	fullTrace    []byte
+	sampledTrace []byte
+	sampleStats  slo.SampleStats
+	incidents    []slo.Incident
 }
 
 // runServeOnce builds the partitioned serving fleet and drives it with
@@ -205,6 +260,7 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 		sys     *core.System
 		stores  []*core.MemoryProclet
 		inj     *load.Injector
+		mon     *slo.Monitor
 		queue   []load.Request
 		qhead   int
 		served  uint64
@@ -222,7 +278,16 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 		sysCfg := core.DefaultConfig()
 		sysCfg.Seed = seeded(37) + int64(s)
 		sys := core.NewSystemOnKernel(pk.Shard(s), sysCfg, machines)
+		if traceDir != "" {
+			// Per-shard tracer with a disjoint ID base: shard s owns IDs
+			// s<<32 .. (s+1)<<32, so obs.Concat merges shard timelines
+			// into one globally ordered export.
+			sys.EnableTracingAt(obs.SpanID(s) << 32)
+		}
 		st := &shardState{sys: sys, overall: metrics.NewLogHistogram(fmt.Sprintf("s%d.lat", s))}
+		st.mon = serveSLO(cfg, s)
+		st.mon.Log = sys.Trace
+		st.mon.Tracer = sys.Obs
 		for _, ph := range servePhases {
 			st.phases = append(st.phases, metrics.NewLogHistogram(fmt.Sprintf("s%d.lat.%s", s, ph)))
 		}
@@ -307,6 +372,7 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 		// requests, groups them by store, and issues one mem.getbatch per
 		// touched store instead of one RPC per request.
 		var wg sim.WaitGroup
+		tr := st.sys.Obs // nil when untraced; every Tracer method is nil-safe
 		for srv := 0; srv < cfg.servers; srv++ {
 			wg.Add(1)
 			k.Spawn(fmt.Sprintf("s%d-server-%d", s, srv), func(p *sim.Proc) {
@@ -328,6 +394,12 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 					}
 					batch = append(batch[:0], st.queue[st.qhead:st.qhead+n]...)
 					st.qhead += n
+					// One causal tree per fan-in batch: the root opens at
+					// pickup, store fan-in RPCs hang off it via SetNext, and
+					// each request lands as a retroactive child spanning
+					// arrival -> completion, so queue wait is visible in the
+					// tree extent the tail sampler keys on.
+					root := tr.Start(obs.KindReq, "batch", 0, 0)
 					for i := range byStore {
 						byStore[i] = byStore[i][:0]
 					}
@@ -339,6 +411,7 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 						if len(ids) == 0 {
 							continue
 						}
+						tr.SetNext(root)
 						gotIDs, _, err := st.stores[si].GetBatch(p, 0, ids)
 						if err != nil {
 							st.errs += uint64(len(ids))
@@ -352,14 +425,30 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 						st.overall.Record(lat)
 						st.phases[cfg.phaseOf(r.At)].Record(lat)
 						st.served++
-						if lat > int64(cfg.deadline) {
+						missed := lat > int64(cfg.deadline)
+						if missed {
 							st.timeout++
 						}
+						// The SLO plane covers the horizon; drain-time
+						// completions of late arrivals are excluded so a
+						// trailing partial window never masquerades as an
+						// outage.
+						if now < cfg.horizon {
+							st.mon.Observe(now, lat, missed)
+						}
+						if tr != nil {
+							sp := tr.RecordAt(obs.KindReq, "req", 0, root, r.At, now)
+							if missed {
+								tr.SetErr(sp, errServeDeadline)
+							}
+						}
 					}
+					tr.End(root)
 					batches++
 					if batches%cfg.crossEvery == 0 {
 						// Keep the fleet coupled: a cross-shard gateway read
 						// rides the partition mailboxes.
+						tr.SetNext(root)
 						_, err := pt.Call(p, simnet.ShardNode{Shard: s, Node: 0},
 							simnet.ShardNode{Shard: (s + 1) % cfg.shards, Node: 0},
 							"xget", simnet.Message{Bytes: 64})
@@ -404,12 +493,17 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 		Errors:      make([]uint64, cfg.shards),
 		Migrations:  make([]int64, cfg.shards),
 		StartNS:     make([]int64, cfg.shards),
+		Opened:      make([]int, cfg.shards),
+		Resolved:    make([]int, cfg.shards),
+		SLOWindows:  make([]int, cfg.shards),
+		Spans:       make([]int, cfg.shards),
 	}
 	for s, st := range shards {
 		if !st.done {
 			return out, fmt.Errorf("ext-serve: shard %d did not drain by %v (%d/%d served)",
 				s, cfg.horizon+cfg.slack, st.served, st.inj.TotalGenerated())
 		}
+		st.mon.Finish(cfg.horizon)
 		det.ShardEvents[s] = pk.Shard(s).EventsProcessed()
 		det.Generated[s] = st.inj.TotalGenerated()
 		det.Served[s] = st.served
@@ -417,6 +511,11 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 		det.Errors[s] = st.errs
 		det.Migrations[s] = st.migOK
 		det.StartNS[s] = st.startNS
+		det.Opened[s] = st.mon.Opened()
+		det.Resolved[s] = st.mon.Resolved()
+		det.SLOWindows[s] = st.mon.WindowsClosed()
+		det.Spans[s] = st.sys.Obs.Len()
+		out.incidents = append(out.incidents, st.mon.Incidents()...)
 	}
 	det.Windows = pk.Windows()
 	det.CrossMsgs = uint64(pt.CrossCalls.Value())
@@ -445,6 +544,27 @@ func runServeOnce(cfg serveCfg, workers int) (serveOutcome, error) {
 	}
 	for _, e := range trace.Merge(logs...).Events() {
 		det.Trace = append(det.Trace, e.String())
+	}
+
+	// Traced runs: concatenate the per-shard tracers (disjoint ID
+	// ranges, so the merge is a deterministic sort), run tail-based
+	// sampling against the run's incidents, and render both exports.
+	// The bytes ride back to the caller for the P-sweep identity check.
+	if traceDir != "" {
+		tracers := make([]*obs.Tracer, cfg.shards)
+		for s, st := range shards {
+			tracers[s] = st.sys.Obs
+		}
+		merged := obs.Concat(tracers...)
+		sampled, stats := slo.Filter(merged, out.incidents, serveSampleConfig(cfg))
+		var fb, sb bytes.Buffer
+		if err := obs.WriteChromeTrace(&fb, merged, nil); err != nil {
+			return out, err
+		}
+		if err := obs.WriteChromeTrace(&sb, sampled, nil); err != nil {
+			return out, err
+		}
+		out.fullTrace, out.sampledTrace, out.sampleStats = fb.Bytes(), sb.Bytes(), stats
 	}
 	out.det = det
 	out.wallMS = float64(time.Since(start).Microseconds()) / 1000
@@ -484,6 +604,12 @@ func runExtServe(scale Scale) (*Result, error) {
 				p, cfg.workers[0], o.det.ShardEvents, ref.det.ShardEvents,
 				o.det.Served, ref.det.Served)
 		}
+		if !bytes.Equal(o.fullTrace, ref.fullTrace) || !bytes.Equal(o.sampledTrace, ref.sampledTrace) {
+			return nil, fmt.Errorf(
+				"ext-serve: trace export not byte-identical at P=%d vs P=%d (full %d vs %d bytes, sampled %d vs %d bytes)",
+				p, cfg.workers[0], len(o.fullTrace), len(ref.fullTrace),
+				len(o.sampledTrace), len(ref.sampledTrace))
+		}
 	}
 	res.Trace = ref.det.Trace
 
@@ -519,6 +645,41 @@ func runExtServe(scale Scale) (*Result, error) {
 	}
 	res.addf("migration under load: %d stores moved; %d sync windows, %d cross-shard RPCs",
 		migrations, ref.det.Windows, ref.det.CrossMsgs)
+
+	opened, resolved, sloWindows := 0, 0, 0
+	for s := 0; s < cfg.shards; s++ {
+		opened += ref.det.Opened[s]
+		resolved += ref.det.Resolved[s]
+		sloWindows += ref.det.SLOWindows[s]
+	}
+	res.addf("slo plane: %d windows closed across shards; %d incidents opened, %d resolved",
+		sloWindows, opened, resolved)
+	res.set("slo_windows", float64(sloWindows))
+	res.set("incidents_opened", float64(opened))
+	res.set("incidents_resolved", float64(resolved))
+
+	if TraceDir() != "" {
+		st := ref.sampleStats
+		if st.KeptSpans*10 > st.FullSpans {
+			return nil, fmt.Errorf(
+				"ext-serve: tail sampling kept %d of %d spans — misses the 10x reduction bound",
+				st.KeptSpans, st.FullSpans)
+		}
+		res.addf("trace sampling: %d spans in %d trees -> %d spans in %d trees (%.1fx reduction): %d tail, %d err, %d incident, %d head",
+			st.FullSpans, st.Trees, st.KeptSpans, st.Kept,
+			float64(st.FullSpans)/float64(st.KeptSpans),
+			st.Tail, st.Err, st.Incident, st.Head)
+		res.set("trace_spans_full", float64(st.FullSpans))
+		res.set("trace_spans_sampled", float64(st.KeptSpans))
+		res.set("trace_trees_kept", float64(st.Kept))
+		full := filepath.Join(TraceDir(), "ext-serve.full.trace.json")
+		if err := os.WriteFile(full, ref.fullTrace, 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(TraceDir(), "ext-serve.trace.json"), ref.sampledTrace, 0o644); err != nil {
+			return nil, err
+		}
+	}
 	res.addf("determinism: per-shard events %v identical at P=%v (asserted in-run,", ref.det.ShardEvents, cfg.workers)
 	res.addf("histogram snapshots included); wall_* keys are host time, excluded from gates.")
 

@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestHistogramIncrementalSort drives interleaved Observe/Percentile
+// traffic and checks, via the white-box counters, that queries never
+// re-sort samples that were already in order: each query sorts only
+// the tail appended since the previous query, and a query with no new
+// samples sorts nothing.
+func TestHistogramIncrementalSort(t *testing.T) {
+	h := NewHistogram("lat")
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		h.Observe(rng.Float64())
+	}
+	h.Percentile(99)
+	if h.tailSorts != 1 || h.tailSorted != 1000 {
+		t.Fatalf("first query: tailSorts=%d tailSorted=%d, want 1/1000", h.tailSorts, h.tailSorted)
+	}
+
+	// Repeated queries with no intervening Observe must not sort.
+	for i := 0; i < 100; i++ {
+		h.Percentile(float64(i))
+		h.Min()
+		h.Max()
+	}
+	if h.tailSorts != 1 {
+		t.Fatalf("repeated queries re-sorted: tailSorts=%d, want 1", h.tailSorts)
+	}
+
+	// Each Observe/query round sorts exactly the new tail, never the
+	// whole slice again.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			h.Observe(rng.Float64())
+		}
+		h.Percentile(50)
+	}
+	if h.tailSorts != 51 {
+		t.Fatalf("tailSorts=%d, want 51", h.tailSorts)
+	}
+	if want := 1000 + 50*7; h.tailSorted != want {
+		t.Fatalf("tailSorted=%d, want %d — a query re-sorted the sorted prefix", h.tailSorted, want)
+	}
+
+	// The merge must still produce correct order statistics.
+	vals := append([]float64(nil), h.vals...)
+	sort.Float64s(vals)
+	if !sort.Float64sAreSorted(h.vals) {
+		t.Fatal("vals not fully sorted after queries")
+	}
+	if h.Min() != vals[0] || h.Max() != vals[len(vals)-1] {
+		t.Fatalf("min/max = %v/%v, want %v/%v", h.Min(), h.Max(), vals[0], vals[len(vals)-1])
+	}
+}
+
+// TestHistogramIncrementalMatchesFullSort cross-checks every percentile
+// of an interleaved-build histogram against a sort-once oracle.
+func TestHistogramIncrementalMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram("x")
+	var all []float64
+	for round := 0; round < 20; round++ {
+		n := rng.Intn(40) // including empty tails
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64()
+			h.Observe(v)
+			all = append(all, v)
+		}
+		if len(all) == 0 {
+			continue
+		}
+		oracle := NewHistogram("oracle")
+		for _, v := range all {
+			oracle.Observe(v)
+		}
+		for p := 0.0; p <= 100; p += 2.5 {
+			if got, want := h.Percentile(p), oracle.Percentile(p); got != want {
+				t.Fatalf("round %d: Percentile(%g) = %v, want %v", round, p, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkHistogramPercentileRepeated asserts the satellite guarantee
+// directly: after one warm-up query, repeated Percentile calls perform
+// zero sorts regardless of how many samples the histogram holds.
+func BenchmarkHistogramPercentileRepeated(b *testing.B) {
+	h := NewHistogram("bench")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		h.Observe(rng.Float64())
+	}
+	h.Percentile(50) // absorb the one-time full sort
+	sortsBefore := h.tailSorts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Percentile(99.9)
+	}
+	b.StopTimer()
+	if h.tailSorts != sortsBefore {
+		b.Fatalf("repeated Percentile sorted %d times, want 0", h.tailSorts-sortsBefore)
+	}
+}
+
+// BenchmarkHistogramObserveThenPercentile measures the interleaved
+// pattern the old implementation degraded on: one new sample between
+// queries used to cost a full O(n log n) re-sort; now it is a 1-element
+// tail merge.
+func BenchmarkHistogramObserveThenPercentile(b *testing.B) {
+	h := NewHistogram("bench")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		h.Observe(rng.Float64())
+	}
+	h.Percentile(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(rng.Float64())
+		h.Percentile(99.9)
+	}
+}
+
+// TestFirstCrossingEdgeCases covers the satellite's edge matrix: empty
+// series, a single point, a degenerate from==to window, and windows
+// that miss every sample.
+func TestFirstCrossingEdgeCases(t *testing.T) {
+	above := func(bound float64) func(float64) bool {
+		return func(v float64) bool { return v > bound }
+	}
+
+	empty := NewTimeSeries("empty")
+	if at, ok := empty.FirstCrossing(0, 100, above(0)); ok {
+		t.Errorf("empty series: FirstCrossing = %v,true, want !ok", at)
+	}
+
+	one := NewTimeSeries("one")
+	one.Add(50, 3)
+	if at, ok := one.FirstCrossing(0, 100, above(2)); !ok || at != 50 {
+		t.Errorf("single point in window: got %v,%v, want 50,true", at, ok)
+	}
+	if _, ok := one.FirstCrossing(0, 40, above(2)); ok {
+		t.Error("single point after window reported a crossing")
+	}
+	// After the sample the series holds its value: the step function
+	// already satisfies pred at `from`.
+	if at, ok := one.FirstCrossing(60, 100, above(2)); !ok || at != 60 {
+		t.Errorf("step value at from: got %v,%v, want 60,true", at, ok)
+	}
+	if _, ok := one.FirstCrossing(60, 100, above(5)); ok {
+		t.Error("pred never holds but a crossing was reported")
+	}
+
+	s := NewTimeSeries("s")
+	s.Add(10, 1)
+	s.Add(20, 5)
+	// from==to degenerates to a point query on the step function.
+	if at, ok := s.FirstCrossing(20, 20, above(2)); !ok || at != 20 {
+		t.Errorf("from==to at sample: got %v,%v, want 20,true", at, ok)
+	}
+	if at, ok := s.FirstCrossing(25, 25, above(2)); !ok || at != 25 {
+		t.Errorf("from==to between samples: got %v,%v, want 25,true", at, ok)
+	}
+	if _, ok := s.FirstCrossing(15, 15, above(2)); ok {
+		t.Error("from==to before the crossing reported one")
+	}
+	// Window entirely before any sample.
+	if _, ok := s.FirstCrossing(0, 5, above(0)); ok {
+		t.Error("window before first sample reported a crossing")
+	}
+}
+
+// TestBucketSeriesRateEdgeCases covers Rate on out-of-range and
+// negative indices, plus the empty series.
+func TestBucketSeriesRateEdgeCases(t *testing.T) {
+	b := NewBucketSeries("good", 100*1e6) // 100ms buckets
+	if got := b.Rate(0); got != 0 {
+		t.Errorf("empty series Rate(0) = %v, want 0", got)
+	}
+	b.Add(sim.Time(50*1e6), 10)  // bucket 0
+	b.Add(sim.Time(150*1e6), 30) // bucket 1
+	if got := b.Rate(0); got != 100 {
+		t.Errorf("Rate(0) = %v, want 100 (10 per 0.1s)", got)
+	}
+	if got := b.Rate(1); got != 300 {
+		t.Errorf("Rate(1) = %v, want 300", got)
+	}
+	for _, i := range []int{-1, -100, 2, 1000} {
+		if got := b.Rate(i); got != 0 {
+			t.Errorf("out-of-range Rate(%d) = %v, want 0", i, got)
+		}
+	}
+}

@@ -225,6 +225,14 @@ func (h *LogHistogram) Merge(o *LogHistogram) {
 	h.sum += o.sum
 }
 
+// Reset zeroes every bucket so the histogram can be reused — the SLO
+// monitor folds each window into one recycled histogram instead of
+// allocating per window. The name is kept.
+func (h *LogHistogram) Reset() {
+	h.counts = [logBuckets]uint64{}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
 // MergeLogHistograms merges hs (in argument order) into a fresh
 // histogram with the given name. Nil entries are skipped.
 func MergeLogHistograms(name string, hs ...*LogHistogram) *LogHistogram {

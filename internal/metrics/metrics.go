@@ -194,11 +194,22 @@ func (b *BucketSeries) Rate(i int) float64 {
 }
 
 // Histogram collects unordered samples and reports distribution
-// statistics. Percentile queries sort lazily.
+// statistics. Percentile queries sort lazily and incrementally: the
+// container keeps a sorted prefix, and a query after k new
+// observations sorts only the k-sample tail and merges it in — it
+// never re-sorts samples that were already in order. Repeated queries
+// with no intervening Observe touch nothing at all.
 type Histogram struct {
-	Name   string
-	vals   []float64
-	sorted bool
+	Name      string
+	vals      []float64
+	sortedLen int       // vals[:sortedLen] is sorted
+	scratch   []float64 // reusable tail buffer for the in-place merge
+
+	// White-box counters for the no-per-call-sort guarantee:
+	// tailSorts is how many times a query found unsorted samples;
+	// tailSorted is how many samples those sorts covered in total.
+	tailSorts  int
+	tailSorted int
 }
 
 // NewHistogram creates an empty named histogram.
@@ -207,7 +218,6 @@ func NewHistogram(name string) *Histogram { return &Histogram{Name: name} }
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.vals = append(h.vals, v)
-	h.sorted = false
 }
 
 // ObserveDuration records a duration sample in seconds.
@@ -263,11 +273,39 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.vals[rank-1]
 }
 
+// ensureSorted restores the fully-sorted invariant. Samples appended
+// since the last query form an unsorted tail: sort just that tail,
+// copy it to a reusable scratch buffer, and merge the two sorted runs
+// backwards in place. Cost is O(k log k + n) for k new samples rather
+// than O(n log n) for the whole slice, and zero when nothing changed.
 func (h *Histogram) ensureSorted() {
-	if !h.sorted {
-		sort.Float64s(h.vals)
-		h.sorted = true
+	n := len(h.vals)
+	if h.sortedLen == n {
+		return
 	}
+	tail := h.vals[h.sortedLen:]
+	sort.Float64s(tail)
+	h.tailSorts++
+	h.tailSorted += len(tail)
+	if h.sortedLen > 0 {
+		if cap(h.scratch) < len(tail) {
+			h.scratch = make([]float64, len(tail))
+		}
+		s := h.scratch[:len(tail)]
+		copy(s, tail)
+		i, j, k := h.sortedLen-1, len(s)-1, n-1
+		for j >= 0 {
+			if i >= 0 && h.vals[i] > s[j] {
+				h.vals[k] = h.vals[i]
+				i--
+			} else {
+				h.vals[k] = s[j]
+				j--
+			}
+			k--
+		}
+	}
+	h.sortedLen = n
 }
 
 // Counter is a monotonically increasing count. It is single-threaded

@@ -64,6 +64,19 @@ type GPUStat struct {
 	QDelayMaxMS  float64
 }
 
+// IncidentStat is one SLO incident span (internal/obs/slo), in open
+// order in Report.
+type IncidentStat struct {
+	Rule       string
+	Subject    string
+	Severity   string
+	OpenNS     int64
+	CloseNS    int64
+	StillOpen  bool
+	Cause      string // causal control-plane event, "-" rendering when none
+	ParentSpan string // kind:name of the causal parent span, "" when none
+}
+
 // Report is the digest of one exported run.
 type Report struct {
 	Spans      int
@@ -73,6 +86,7 @@ type Report struct {
 	Methods    []MethodStat
 	Machines   []MachineUtil
 	GPUs       []GPUStat
+	Incidents  []IncidentStat
 }
 
 // Analyze digests JSONL records into a Report.
@@ -157,6 +171,22 @@ func Analyze(recs []Record) *Report {
 				if r.Err != "" {
 					errs[k]++
 				}
+			case KindIncident:
+				st := IncidentStat{
+					Rule:     r.Name,
+					Subject:  r.Attrs["subject"],
+					Severity: r.Attrs["severity"],
+					Cause:    r.Attrs["cause"],
+					OpenNS:   r.StartNS,
+					CloseNS:  r.EndNS,
+				}
+				if r.Nums["still_open"] == 1 {
+					st.StillOpen = true
+				}
+				if pr, ok := byID[r.Parent]; ok {
+					st.ParentSpan = pr.Kind + ":" + pr.Name
+				}
+				rp.Incidents = append(rp.Incidents, st)
 			}
 		case "sample":
 			rp.Samples++
@@ -203,6 +233,12 @@ func Analyze(recs []Record) *Report {
 
 	sort.SliceStable(rp.Migrations, func(i, j int) bool {
 		return rp.Migrations[i].LatencyMS > rp.Migrations[j].LatencyMS
+	})
+
+	// Incident spans are recorded at close time; the timeline reads in
+	// open order.
+	sort.SliceStable(rp.Incidents, func(i, j int) bool {
+		return rp.Incidents[i].OpenNS < rp.Incidents[j].OpenNS
 	})
 
 	keys := make([]methodKey, 0, len(hists))
@@ -315,6 +351,29 @@ func (rp *Report) Print(w io.Writer, topN int) {
 			}
 			fmt.Fprintf(w, "%-24s %3d->%-3d %12d %9.3f ms  %s\n",
 				m.Name, m.From, m.To, m.Bytes, m.LatencyMS, cause)
+		}
+	}
+
+	if len(rp.Incidents) > 0 {
+		fmt.Fprintf(w, "\n-- incident timeline (%d) --\n", len(rp.Incidents))
+		fmt.Fprintf(w, "%-20s %-12s %-8s %12s %12s %10s  %s\n",
+			"rule", "subject", "severity", "open", "close", "duration", "cause")
+		for _, inc := range rp.Incidents {
+			cause := inc.Cause
+			if cause == "" {
+				cause = "-"
+			}
+			if inc.ParentSpan != "" {
+				cause += " [" + inc.ParentSpan + "]"
+			}
+			closeCol := fmt.Sprintf("%.1f ms", float64(inc.CloseNS)/1e6)
+			if inc.StillOpen {
+				closeCol = "open"
+			}
+			fmt.Fprintf(w, "%-20s %-12s %-8s %9.1f ms %12s %7.1f ms  %s\n",
+				inc.Rule, inc.Subject, inc.Severity,
+				float64(inc.OpenNS)/1e6, closeCol,
+				float64(inc.CloseNS-inc.OpenNS)/1e6, cause)
 		}
 	}
 

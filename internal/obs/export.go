@@ -102,9 +102,10 @@ func WriteChromeTrace(w io.Writer, t *Tracer, tl *Telemetry) error {
 
 	// Process-name metadata: the control plane plus every machine that
 	// appears in a span or a telemetry probe.
+	spans := t.SpansByID()
 	pids := map[int]string{}
-	for i := range t.Spans() {
-		s := &t.Spans()[i]
+	for i := range spans {
+		s := &spans[i]
 		pid := pidOf(s.Machine)
 		if _, ok := pids[pid]; !ok {
 			pids[pid] = trackName(s.Machine)
@@ -132,7 +133,6 @@ func WriteChromeTrace(w io.Writer, t *Tracer, tl *Telemetry) error {
 	}
 
 	// Spans, in ID order.
-	spans := t.Spans()
 	for i := range spans {
 		s := &spans[i]
 		end := t.clampEnd(s)
@@ -244,7 +244,7 @@ type Record struct {
 func WriteJSONL(w io.Writer, t *Tracer, tl *Telemetry) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	spans := t.Spans()
+	spans := t.SpansByID()
 	for i := range spans {
 		s := &spans[i]
 		rec := Record{
@@ -302,18 +302,35 @@ func WriteJSONL(w io.Writer, t *Tracer, tl *Telemetry) error {
 	return bw.Flush()
 }
 
-// ReadJSONL parses records written by WriteJSONL.
+// ReadJSONL parses records written by WriteJSONL. It reads line by
+// line so a malformed record is reported with its 1-based line number
+// instead of being silently skipped or failing with an opaque offset;
+// blank lines are allowed, anything else must be a valid span or
+// sample record.
 func ReadJSONL(r io.Reader) ([]Record, error) {
-	dec := json.NewDecoder(r)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var out []Record
-	for {
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
 		var rec Record
-		if err := dec.Decode(&rec); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return nil, fmt.Errorf("obs: bad JSONL record %d: %w", len(out)+1, err)
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("obs: line %d: malformed JSONL record: %w", line, err)
+		}
+		switch rec.Type {
+		case "span", "sample":
+		default:
+			return nil, fmt.Errorf("obs: line %d: unknown record type %q", line, rec.Type)
 		}
 		out = append(out, rec)
 	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: line %d: %w", line+1, err)
+	}
+	return out, nil
 }

@@ -16,6 +16,8 @@
 package obs
 
 import (
+	"sort"
+
 	"repro/internal/sim"
 )
 
@@ -31,11 +33,18 @@ const (
 	KindPressure = "pressure" // a reactor pressure episode (cpu, mem, mem-demand)
 	KindSched    = "sched"    // a slow-path decision: rebalance, affinity
 	KindRepl     = "repl"     // replication plane: ship, promote
+	KindIncident = "incident" // an SLO incident interval (internal/obs/slo)
+	KindReq      = "req"      // one served request (or fan-in batch) in a serving plane
 )
 
 // SpanID identifies a span within one Tracer; 0 is "no span" (the
-// parent of a root). IDs are assigned densely in creation order, which
-// makes them deterministic per seed.
+// parent of a root). IDs are assigned in creation order from the
+// tracer's base (base+1, base+2, ...), which makes them deterministic
+// per seed. A nonzero base (NewTracerWithBase) gives each shard of a
+// partitioned run a disjoint ID space, so per-shard tracers merge into
+// one fleet timeline without renumbering — and a span keeps the same
+// ID whether or not the sampler retained its neighbors, which is what
+// makes a sampled export a literal subset of the full one.
 type SpanID uint64
 
 // Attr is one span attribute: a key with either a string or a numeric
@@ -87,7 +96,11 @@ func (s *Span) Duration() sim.Time {
 // processes.
 type Tracer struct {
 	k     *sim.Kernel
+	base  SpanID
+	seq   uint64 // IDs handed out: next ID is base + seq + 1
 	spans []Span
+	pos   map[SpanID]int // span ID -> index in spans
+	maxAt sim.Time       // latest timestamp seen; export clamp for kernel-less tracers
 
 	// next is a one-shot parent handed across an API boundary whose
 	// signature cannot carry a SpanID (Runtime.Invoke calling
@@ -98,10 +111,46 @@ type Tracer struct {
 }
 
 // NewTracer creates a tracer on the given kernel.
-func NewTracer(k *sim.Kernel) *Tracer { return &Tracer{k: k} }
+func NewTracer(k *sim.Kernel) *Tracer {
+	return &Tracer{k: k, pos: make(map[SpanID]int)}
+}
+
+// NewTracerWithBase creates a tracer whose span IDs start at base+1.
+// Partitioned runs give shard s the base SpanID(s)<<32, so every
+// shard's IDs are globally unique and a fleet-wide merge (Concat)
+// never renumbers. k may be nil for tracers that only receive complete
+// spans (RecordAt/Put); such tracers clamp open spans to the latest
+// timestamp they have seen.
+func NewTracerWithBase(k *sim.Kernel, base SpanID) *Tracer {
+	return &Tracer{k: k, base: base, pos: make(map[SpanID]int)}
+}
 
 // Enabled reports whether the tracer records anything.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Base returns the tracer's ID base.
+func (t *Tracer) Base() SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.base
+}
+
+// span returns a pointer to the stored span with the given ID, or nil.
+func (t *Tracer) span(id SpanID) *Span {
+	i, ok := t.pos[id]
+	if !ok {
+		return nil
+	}
+	return &t.spans[i]
+}
+
+// note advances the export clamp for open spans.
+func (t *Tracer) note(at sim.Time) {
+	if at > t.maxAt {
+		t.maxAt = at
+	}
+}
 
 // Start opens a span and returns its ID (0 on a nil tracer). parent 0
 // makes it a root.
@@ -109,11 +158,17 @@ func (t *Tracer) Start(kind, name string, machine int, parent SpanID) SpanID {
 	if t == nil {
 		return 0
 	}
-	id := SpanID(len(t.spans) + 1)
+	t.seq++
+	id := t.base + SpanID(t.seq)
 	trace := id
 	if parent != 0 {
-		trace = t.spans[parent-1].TraceID
+		if ps := t.span(parent); ps != nil {
+			trace = ps.TraceID
+		}
 	}
+	now := t.k.Now()
+	t.note(now)
+	t.pos[id] = len(t.spans)
 	t.spans = append(t.spans, Span{
 		TraceID: trace,
 		ID:      id,
@@ -123,9 +178,73 @@ func (t *Tracer) Start(kind, name string, machine int, parent SpanID) SpanID {
 		Machine: machine,
 		From:    -1,
 		To:      -1,
-		Start:   t.k.Now(),
+		Start:   now,
 	})
 	return id
+}
+
+// SkipIDs burns n span IDs without recording anything. The sampler
+// uses it to keep a filtered tracer's ID counter aligned with the full
+// tracer it mirrors, so spans recorded after a dropped tree still get
+// identical IDs in both.
+func (t *Tracer) SkipIDs(n uint64) {
+	if t == nil {
+		return
+	}
+	t.seq += n
+}
+
+// RecordAt appends a complete span with explicit timestamps and
+// returns its ID. This is the retroactive path: the SLO monitor emits
+// an incident span only once the incident has closed, with the open
+// time as Start — span IDs are assigned at emission, so the ID order
+// of an export remains deterministic.
+func (t *Tracer) RecordAt(kind, name string, machine int, parent SpanID, start, end sim.Time) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.seq++
+	id := t.base + SpanID(t.seq)
+	trace := id
+	if parent != 0 {
+		if ps := t.span(parent); ps != nil {
+			trace = ps.TraceID
+		}
+	}
+	t.note(end)
+	t.pos[id] = len(t.spans)
+	t.spans = append(t.spans, Span{
+		TraceID: trace,
+		ID:      id,
+		Parent:  parent,
+		Kind:    kind,
+		Name:    name,
+		Machine: machine,
+		From:    -1,
+		To:      -1,
+		Start:   start,
+		End:     end,
+		Done:    true,
+	})
+	return id
+}
+
+// Put stores a span verbatim, keeping its ID, trace, and parent. This
+// is how samplers and mergers build derived tracers: the copied span
+// is byte-identical to the original, so a filtered export is a literal
+// subset of the full one. The caller must not reuse an ID already
+// present. Put does not advance the ID counter — pair it with SkipIDs
+// when mirroring a live tracer.
+func (t *Tracer) Put(s Span) {
+	if t == nil {
+		return
+	}
+	t.note(s.Start)
+	if s.Done {
+		t.note(s.End)
+	}
+	t.pos[s.ID] = len(t.spans)
+	t.spans = append(t.spans, s)
 }
 
 // End closes a span at the current kernel time.
@@ -133,9 +252,13 @@ func (t *Tracer) End(id SpanID) {
 	if t == nil || id == 0 {
 		return
 	}
-	sp := &t.spans[id-1]
+	sp := t.span(id)
+	if sp == nil {
+		return
+	}
 	sp.End = t.k.Now()
 	sp.Done = true
+	t.note(sp.End)
 }
 
 // SetRoute records the source and destination machines of a move.
@@ -143,7 +266,9 @@ func (t *Tracer) SetRoute(id SpanID, from, to int) {
 	if t == nil || id == 0 {
 		return
 	}
-	t.spans[id-1].From, t.spans[id-1].To = from, to
+	if sp := t.span(id); sp != nil {
+		sp.From, sp.To = from, to
+	}
 }
 
 // SetBytes records the payload size the span moved.
@@ -151,7 +276,9 @@ func (t *Tracer) SetBytes(id SpanID, n int64) {
 	if t == nil || id == 0 {
 		return
 	}
-	t.spans[id-1].Bytes = n
+	if sp := t.span(id); sp != nil {
+		sp.Bytes = n
+	}
 }
 
 // SetErr records the span's error (nil clears nothing and is a no-op).
@@ -159,7 +286,9 @@ func (t *Tracer) SetErr(id SpanID, err error) {
 	if t == nil || id == 0 || err == nil {
 		return
 	}
-	t.spans[id-1].Err = err.Error()
+	if sp := t.span(id); sp != nil {
+		sp.Err = err.Error()
+	}
 }
 
 // Num attaches a numeric attribute.
@@ -167,8 +296,9 @@ func (t *Tracer) Num(id SpanID, key string, v float64) {
 	if t == nil || id == 0 {
 		return
 	}
-	sp := &t.spans[id-1]
-	sp.Attrs = append(sp.Attrs, Attr{Key: key, Num: v, IsNum: true})
+	if sp := t.span(id); sp != nil {
+		sp.Attrs = append(sp.Attrs, Attr{Key: key, Num: v, IsNum: true})
+	}
 }
 
 // Str attaches a string attribute.
@@ -176,8 +306,9 @@ func (t *Tracer) Str(id SpanID, key, v string) {
 	if t == nil || id == 0 {
 		return
 	}
-	sp := &t.spans[id-1]
-	sp.Attrs = append(sp.Attrs, Attr{Key: key, Str: v})
+	if sp := t.span(id); sp != nil {
+		sp.Attrs = append(sp.Attrs, Attr{Key: key, Str: v})
+	}
 }
 
 // SetNext arms a one-shot parent for the next TakeNext. See the field
@@ -207,7 +338,9 @@ func (t *Tracer) Len() int {
 	return len(t.spans)
 }
 
-// Spans returns all recorded spans in creation order (not a copy).
+// Spans returns all recorded spans in recording order (not a copy).
+// Within one live tracer recording order is ID order; tracers built
+// with Put may interleave — exporters use SpansByID.
 func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
@@ -215,12 +348,84 @@ func (t *Tracer) Spans() []Span {
 	return t.spans
 }
 
-// Span returns the span with the given ID, or nil.
-func (t *Tracer) Span(id SpanID) *Span {
-	if t == nil || id == 0 || int(id) > len(t.spans) {
+// SpansByID returns the spans in ascending ID order. When the spans
+// are already ordered (the common case: one live tracer) the
+// underlying slice is returned without copying.
+func (t *Tracer) SpansByID() []Span {
+	if t == nil {
 		return nil
 	}
-	return &t.spans[id-1]
+	ordered := true
+	for i := 1; i < len(t.spans); i++ {
+		if t.spans[i].ID < t.spans[i-1].ID {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		return t.spans
+	}
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Span returns the span with the given ID, or nil.
+func (t *Tracer) Span(id SpanID) *Span {
+	if t == nil || id == 0 {
+		return nil
+	}
+	return t.span(id)
+}
+
+// LastOpen returns the most recently started span that is still open
+// and whose kind is one of kinds (0 when none). The SLO monitor uses
+// it to parent an incident under the fault/pressure/migration span
+// active at open.
+func (t *Tracer) LastOpen(kinds ...string) SpanID {
+	if t == nil {
+		return 0
+	}
+	for i := len(t.spans) - 1; i >= 0; i-- {
+		sp := &t.spans[i]
+		if sp.Done {
+			continue
+		}
+		for _, k := range kinds {
+			if sp.Kind == k {
+				return sp.ID
+			}
+		}
+	}
+	return 0
+}
+
+// Concat builds one tracer holding every span of the inputs, in
+// ascending ID order. With disjoint per-shard bases this is the
+// deterministic barrier merge for partitioned runs: the result depends
+// only on shard contents, never on host worker count. Nil tracers are
+// skipped; inputs are not modified.
+func Concat(tracers ...*Tracer) *Tracer {
+	total := 0
+	for _, t := range tracers {
+		total += t.Len()
+	}
+	out := &Tracer{pos: make(map[SpanID]int, total)}
+	out.spans = make([]Span, 0, total)
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		for i := range t.spans {
+			out.Put(t.spans[i])
+		}
+	}
+	sort.Slice(out.spans, func(i, j int) bool { return out.spans[i].ID < out.spans[j].ID })
+	for i := range out.spans {
+		out.pos[out.spans[i].ID] = i
+	}
+	return out
 }
 
 // clampEnd returns the span's end for export: open spans are clamped
@@ -229,8 +434,14 @@ func (t *Tracer) clampEnd(s *Span) sim.Time {
 	if s.Done {
 		return s.End
 	}
-	if now := t.k.Now(); now > s.Start {
-		return now
+	end := t.maxAt
+	if t.k != nil {
+		if now := t.k.Now(); now > end {
+			end = now
+		}
+	}
+	if end > s.Start {
+		return end
 	}
 	return s.Start
 }

@@ -1,0 +1,149 @@
+package slo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FlightRecorder is a bounded ring of recent noteworthy moments —
+// control-plane events, closed SLO windows, incident transitions. It
+// costs O(capacity) memory no matter how long the run is, and its
+// snapshot is dumped when a scenario assertion fails or an incident
+// opens, so failure reports carry the last seconds of context instead
+// of a terse metric diff.
+//
+// All methods are nil-safe no-ops, so wiring sites need no guards.
+// Entries are recorded from kernel context (single-threaded per
+// shard), so no locking; per-shard recorders merge deterministically
+// by (time, shard) in MergeSnapshots.
+type FlightRecorder struct {
+	cap  int
+	ring []FlightEntry
+	n    int // total entries ever recorded
+}
+
+// FlightEntry is one recorded moment.
+type FlightEntry struct {
+	At     sim.Time
+	Shard  int    // recording shard; -1 for single-kernel runs
+	Source string // "event", "window", "incident", "note"
+	Text   string
+}
+
+func (e FlightEntry) String() string {
+	return fmt.Sprintf("%12v s%d %-8s %s", e.At, e.Shard, e.Source, e.Text)
+}
+
+// NewFlightRecorder creates a recorder keeping the last capacity
+// entries (64 if capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &FlightRecorder{cap: capacity, ring: make([]FlightEntry, 0, capacity)}
+}
+
+// Note records one entry, evicting the oldest when full.
+func (f *FlightRecorder) Note(at sim.Time, source, text string) {
+	if f == nil {
+		return
+	}
+	e := FlightEntry{At: at, Shard: -1, Source: source, Text: text}
+	if len(f.ring) < f.cap {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[f.n%f.cap] = e
+	}
+	f.n++
+}
+
+// AttachLog hooks the recorder onto a control-plane log so every
+// emitted event lands in the ring, chaining any hook already
+// installed.
+func (f *FlightRecorder) AttachLog(l *trace.Log) {
+	if f == nil || l == nil {
+		return
+	}
+	prev := l.OnEmit
+	l.OnEmit = func(e trace.Event) {
+		if prev != nil {
+			prev(e)
+		}
+		f.Note(e.At, "event", fmt.Sprintf("%-9s %s %s", e.Kind, e.Subject, e.Detail))
+	}
+}
+
+// Recorded returns the total number of entries ever recorded
+// (including evicted ones).
+func (f *FlightRecorder) Recorded() int {
+	if f == nil {
+		return 0
+	}
+	return f.n
+}
+
+// Dropped returns how many entries were evicted from the ring.
+func (f *FlightRecorder) Dropped() int {
+	if f == nil {
+		return 0
+	}
+	if f.n <= f.cap {
+		return 0
+	}
+	return f.n - f.cap
+}
+
+// Snapshot returns the retained entries, oldest first.
+func (f *FlightRecorder) Snapshot() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	if f.n <= f.cap {
+		out := make([]FlightEntry, len(f.ring))
+		copy(out, f.ring)
+		return out
+	}
+	out := make([]FlightEntry, 0, f.cap)
+	start := f.n % f.cap
+	out = append(out, f.ring[start:]...)
+	out = append(out, f.ring[:start]...)
+	return out
+}
+
+// MergeSnapshots interleaves per-shard snapshots into one timeline,
+// ordered by time with ties broken by shard index — deterministic
+// regardless of worker count. Each entry is tagged with its shard.
+func MergeSnapshots(shards ...[]FlightEntry) []FlightEntry {
+	var out []FlightEntry
+	for s, entries := range shards {
+		for _, e := range entries {
+			e.Shard = s
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}
+
+// WriteDump renders a flight-recorder dump: a header with totals, then
+// one line per entry. Byte-deterministic given deterministic entries.
+func WriteDump(w io.Writer, title string, entries []FlightEntry, dropped int) error {
+	if _, err := fmt.Fprintf(w, "flight recorder: %s (%d entries, %d evicted)\n", title, len(entries), dropped); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

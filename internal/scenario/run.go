@@ -26,6 +26,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/load"
 	"repro/internal/metrics"
+	"repro/internal/obs/slo"
 	"repro/internal/proclet"
 	"repro/internal/replication"
 	"repro/internal/sim"
@@ -39,6 +40,11 @@ import (
 type Options struct {
 	Seed int64 // 0 → the spec's committed seed
 	Par  int   // host worker count; <=0 → 1
+
+	// KeepWindows retains every closed SLO window per shard in
+	// Outcome.SLOHistory — the data behind qsctl top. Off by default;
+	// it is O(windows) memory.
+	KeepWindows bool
 }
 
 // AssertResult is one evaluated assertion.
@@ -61,6 +67,14 @@ type Outcome struct {
 	Asserts []AssertResult
 	Pass    bool
 	Trace   []string
+
+	// SLO plane results: incidents in shard order, the merged flight
+	// recorder timeline (always populated — it backs failure dumps),
+	// and per-shard window history when Options.KeepWindows is set.
+	Incidents     []slo.Incident
+	Flight        []slo.FlightEntry
+	FlightDropped int
+	SLOHistory    [][]slo.WindowStat
 }
 
 // injWindows sizes the injector batch window in lookahead units, as in
@@ -109,6 +123,9 @@ type shardState struct {
 	hist     *metrics.LogHistogram
 	good     []int64 // goodput buckets: on-deadline completions by completion time
 	done     bool
+
+	mon    *slo.Monitor        // nil unless the spec declares an slo block
+	flight *slo.FlightRecorder // always on: backs failure dumps
 }
 
 // Run executes the scenario and evaluates its assertions. The returned
@@ -234,6 +251,38 @@ func Run(sp *Spec, opt Options) (*Outcome, error) {
 		// scheduled faults — so RPC timeout behavior is uniform fleet-wide.
 		st.in = fault.New(k, st.sys.Cluster, st.sys.Trace)
 		st.sys.AttachInjector(st.in)
+
+		// Flight recorder: every control-plane event lands in the ring,
+		// so assertion failures dump the last moments of context.
+		st.flight = slo.NewFlightRecorder(64)
+		st.flight.AttachLog(st.sys.Trace)
+
+		// The streaming SLO plane, when declared: fleet-wide rate floors
+		// split across shards the same way tenant rates do.
+		if sp.SLO.Enabled() {
+			rules := make([]slo.Rule, len(sp.SLO.Rules))
+			for i, r := range sp.SLO.Rules {
+				rules[i] = slo.Rule{
+					Kind:     slo.RuleKind(r.Kind),
+					Name:     r.Name,
+					BoundMS:  r.BoundMS,
+					FloorRPS: r.FloorRPS / float64(f.Shards),
+					Ceiling:  r.Ceiling,
+					For:      r.For,
+					Severity: r.Severity,
+				}
+			}
+			st.mon = slo.New(slo.Config{
+				Window:      mst(sp.SLO.WindowMS),
+				Windows:     sp.SLO.Windows,
+				Rules:       rules,
+				Subject:     fmt.Sprintf("s%d", s),
+				Machine:     -1,
+				KeepHistory: opt.KeepWindows,
+			})
+			st.mon.Log = st.sys.Trace
+			st.mon.Flight = st.flight
+		}
 
 		// GPUs attach to every non-front-end machine; machine 0 stays a
 		// pure serving front end.
@@ -458,6 +507,12 @@ func Run(sp *Spec, opt Options) (*Outcome, error) {
 					for _, r := range batch {
 						lat := int64(now - r.At)
 						st.hist.Record(lat)
+						// The SLO plane covers the scenario horizon:
+						// completions during the drain are backlog
+						// clearing, not steady-state service.
+						if now < horizon {
+							st.mon.Observe(now, lat, lat > deadline)
+						}
 						st.served++
 						if lat > deadline {
 							st.timeouts++
@@ -536,10 +591,33 @@ func collect(sp *Spec, seed int64, pk *sim.ParKernel, shards []*shardState, buck
 	var lost, migOK, crashes, restarts, partitions, degrades, heals, promotions, recoveries int64
 	var gpuXids, gpuThrottles, gpuHeals, gpuRestores, gpuEvacs, gpuMitigations, gpuStranded int64
 	var trainerSteps, checkpoints, lostSteps int64
+	var sloWindows, sloBreaches, incOpened, incResolved, incOpen int
 	var events uint64
 	startNS := int64(0)
 	hist := metrics.NewLogHistogram("latency")
 	good := make([]int64, len(shards[0].good))
+	var incidents []slo.Incident
+	var sloHistory [][]slo.WindowStat
+	flightSnaps := make([][]slo.FlightEntry, len(shards))
+	flightDropped := 0
+	horizonT := mst(sp.HorizonMS)
+	for s, st := range shards {
+		// Seal the SLO plane at the horizon: trailing empty windows
+		// close (a tail outage still breaches), incidents still open
+		// get their spans clamped.
+		st.mon.Finish(horizonT)
+		sloWindows += st.mon.WindowsClosed()
+		sloBreaches += st.mon.Breaches()
+		incOpened += st.mon.Opened()
+		incResolved += st.mon.Resolved()
+		incOpen += st.mon.OpenCount()
+		incidents = append(incidents, st.mon.Incidents()...)
+		if h := st.mon.History(); h != nil {
+			sloHistory = append(sloHistory, h)
+		}
+		flightSnaps[s] = st.flight.Snapshot()
+		flightDropped += st.flight.Dropped()
+	}
 	for s, st := range shards {
 		generated += st.inj.TotalGenerated()
 		served += st.served
@@ -628,9 +706,21 @@ func collect(sp *Spec, seed int64, pk *sim.ParKernel, shards []*shardState, buck
 		"trainer_steps":   float64(trainerSteps),
 		"checkpoints":     float64(checkpoints),
 		"lost_steps":      float64(lostSteps),
+
+		"slo_windows":        float64(sloWindows),
+		"slo_breaches":       float64(sloBreaches),
+		"incidents_opened":   float64(incOpened),
+		"incidents_resolved": float64(incResolved),
+		"incidents_open":     float64(incOpen),
 	}
 
-	out := &Outcome{Spec: sp, Seed: seed, Metrics: m, Hist: hist, Pass: true}
+	out := &Outcome{
+		Spec: sp, Seed: seed, Metrics: m, Hist: hist, Pass: true,
+		Incidents:     incidents,
+		Flight:        slo.MergeSnapshots(flightSnaps...),
+		FlightDropped: flightDropped,
+		SLOHistory:    sloHistory,
+	}
 	for _, a := range sp.Asserts {
 		got := m[a.Metric]
 		ok := evalOp(got, a.Op, a.Value)
@@ -739,6 +829,23 @@ func (o *Outcome) WriteReport(w io.Writer) {
 	for _, ev := range o.Spec.Events {
 		fmt.Fprintf(w, "  event: %s\n", ev)
 	}
+	if o.Spec.SLO.Enabled() {
+		fmt.Fprintf(w, "slo: %gms windows, burn-rate ring %d, %d rules; %d windows closed, %d breaches\n",
+			o.Spec.SLO.WindowMS, o.Spec.SLO.Windows, len(o.Spec.SLO.Rules),
+			int(o.Metrics["slo_windows"]), int(o.Metrics["slo_breaches"]))
+		for _, inc := range o.Incidents {
+			closeCol := fmt.Sprintf("%.1fms", float64(inc.CloseAt)/1e6)
+			if inc.Open {
+				closeCol = "open"
+			}
+			cause := inc.Cause
+			if cause == "" {
+				cause = "-"
+			}
+			fmt.Fprintf(w, "  incident [%s] %s %s: %.1fms -> %s cause=%s\n",
+				inc.Severity, inc.Subject, inc.Rule, float64(inc.OpenAt)/1e6, closeCol, cause)
+		}
+	}
 	fmt.Fprintf(w, "latency: %s\n", o.Hist.String())
 	for _, name := range MetricNames {
 		fmt.Fprintf(w, "  %-15s %s\n", name, fmtMetric(name, o.Metrics[name]))
@@ -773,6 +880,7 @@ type jsonReport struct {
 	Pass       bool               `json:"pass"`
 	Metrics    map[string]float64 `json:"metrics"`
 	Assertions []AssertResult     `json:"assertions"`
+	Incidents  []slo.Incident     `json:"incidents,omitempty"`
 }
 
 // WriteJSON writes the machine-readable report (metrics keys sorted by
@@ -788,10 +896,18 @@ func (o *Outcome) WriteJSON(w io.Writer) error {
 		Pass:       o.Pass,
 		Metrics:    o.Metrics,
 		Assertions: asserts,
+		Incidents:  o.Incidents,
 	}, "", "  ")
 	if err != nil {
 		return err
 	}
 	_, err = w.Write(append(b, '\n'))
 	return err
+}
+
+// WriteFlightDump renders the merged flight-recorder timeline — the
+// artifact qsctl run saves when assertions fail or an incident opened.
+func (o *Outcome) WriteFlightDump(w io.Writer) error {
+	title := fmt.Sprintf("%s seed %d", o.Spec.Name, o.Seed)
+	return slo.WriteDump(w, title, o.Flight, o.FlightDropped)
 }

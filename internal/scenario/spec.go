@@ -23,6 +23,32 @@ type Spec struct {
 	Workload Workload
 	Events   []Event
 	Asserts  []Assertion
+	SLO      SLO
+}
+
+// SLO configures the streaming SLO plane (internal/obs/slo): fixed
+// windows over the virtual clock and multi-window burn-rate rules that
+// open/close incidents. Rates (floor_rps) are fleet-wide; Run divides
+// them by the shard count, matching how tenant rates split.
+type SLO struct {
+	WindowMS float64
+	Windows  int // burn-rate ring: rules look at the last N windows
+	Rules    []SLORule
+}
+
+// Enabled reports whether the scenario declared an slo block.
+func (s SLO) Enabled() bool { return s.WindowMS > 0 }
+
+// SLORule mirrors slo.Rule with spec-level units.
+type SLORule struct {
+	Kind     string // p999_above | goodput_below | error_rate_above
+	Name     string
+	BoundMS  float64 // p999_above
+	FloorRPS float64 // goodput_below, fleet-wide
+	Ceiling  float64 // error_rate_above, fraction in [0,1]
+	For      int
+	Severity string // warn (default) | page
+	Line     int
 }
 
 // Fleet shapes the simulated cluster: Shards independent kernel shards
@@ -214,6 +240,8 @@ var MetricNames = []string{
 	"gpu_xids", "gpu_throttles", "gpu_heals",
 	"gpu_restores", "gpu_evacuations", "gpu_mitigations", "gpu_stranded",
 	"trainer_steps", "checkpoints", "lost_steps",
+	"slo_windows", "slo_breaches",
+	"incidents_opened", "incidents_resolved", "incidents_open",
 }
 
 var metricSet = func() map[string]bool {
@@ -298,6 +326,10 @@ func Parse(src string) (*Spec, error) {
 			}
 		case "assertions":
 			if sp.Asserts, err = decodeAsserts(v); err != nil {
+				return nil, err
+			}
+		case "slo":
+			if err = decodeSLO(v, &sp.SLO); err != nil {
 				return nil, err
 			}
 		default:
@@ -655,6 +687,95 @@ func decodeEvents(n *node) ([]Event, error) {
 	return out, nil
 }
 
+var sloRuleKinds = []string{"p999_above", "goodput_below", "error_rate_above"}
+
+func decodeSLO(n *node, s *SLO) error {
+	if n.isScalar || n.isSeq {
+		return fmt.Errorf(`field "slo": expected a mapping, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	s.Windows = 5
+	for i, key := range n.keys {
+		v := n.vals[i]
+		ctx := fmt.Sprintf("slo: field %q", key)
+		var err error
+		var iv int64
+		switch key {
+		case "window_ms":
+			s.WindowMS, err = v.floatVal(ctx)
+		case "windows":
+			if iv, err = v.intVal(ctx); err == nil {
+				s.Windows = int(iv)
+			}
+		case "rules":
+			s.Rules, err = decodeSLORules(v)
+		default:
+			return fmt.Errorf("slo: unknown field %q (line %d)", key, v.line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeSLORules(n *node) ([]SLORule, error) {
+	if !n.isSeq {
+		return nil, fmt.Errorf(`slo: field "rules": expected a sequence, got a %s (line %d)`, n.kindName(), n.line)
+	}
+	var out []SLORule
+	for ri, item := range n.items {
+		if item.isScalar || item.isSeq {
+			return nil, fmt.Errorf("slo rules[%d]: expected a mapping, got a %s (line %d)", ri, item.kindName(), item.line)
+		}
+		r := SLORule{Line: item.line, For: 1, Severity: "warn"}
+		for i, key := range item.keys {
+			v := item.vals[i]
+			ctx := fmt.Sprintf("slo rules[%d]: field %q", ri, key)
+			var err error
+			var iv int64
+			switch key {
+			case "kind":
+				if r.Kind, err = v.strVal(ctx); err == nil {
+					ok := false
+					for _, k := range sloRuleKinds {
+						if k == r.Kind {
+							ok = true
+						}
+					}
+					if !ok {
+						return nil, fmt.Errorf("slo rules[%d]: unknown rule kind %q (want %s) (line %d)",
+							ri, r.Kind, strings.Join(sloRuleKinds, ", "), v.line)
+					}
+				}
+			case "name":
+				r.Name, err = v.strVal(ctx)
+			case "bound_ms":
+				r.BoundMS, err = v.floatVal(ctx)
+			case "floor_rps":
+				r.FloorRPS, err = v.floatVal(ctx)
+			case "ceiling":
+				r.Ceiling, err = v.floatVal(ctx)
+			case "for":
+				if iv, err = v.intVal(ctx); err == nil {
+					r.For = int(iv)
+				}
+			case "severity":
+				r.Severity, err = v.strVal(ctx)
+			default:
+				return nil, fmt.Errorf("slo rules[%d]: unknown field %q (line %d)", ri, key, v.line)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if r.Kind == "" {
+			return nil, fmt.Errorf(`slo rules[%d]: missing "kind" (line %d)`, ri, item.line)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 func decodeAsserts(n *node) ([]Assertion, error) {
 	if !n.isSeq {
 		return nil, fmt.Errorf(`field "assertions": expected a sequence, got a %s (line %d)`, n.kindName(), n.line)
@@ -791,6 +912,43 @@ func (sp *Spec) validate() error {
 		default:
 			return fmt.Errorf("scenario %q: tenant %q: unknown curve %q (want constant, diurnal, ramp)",
 				sp.Name, t.Name, t.Curve)
+		}
+	}
+	if sp.SLO.Enabled() || len(sp.SLO.Rules) > 0 {
+		if sp.SLO.WindowMS <= 0 {
+			return fmt.Errorf("scenario %q: slo needs window_ms > 0 (got %g)", sp.Name, sp.SLO.WindowMS)
+		}
+		if sp.SLO.Windows < 1 {
+			return fmt.Errorf("scenario %q: slo windows must be >= 1 (got %d)", sp.Name, sp.SLO.Windows)
+		}
+		if len(sp.SLO.Rules) == 0 {
+			return fmt.Errorf("scenario %q: slo needs at least one rule", sp.Name)
+		}
+		for ri, r := range sp.SLO.Rules {
+			if r.For < 1 || r.For > sp.SLO.Windows {
+				return fmt.Errorf("scenario %q: slo rules[%d]: for=%d out of [1, %d] (line %d)",
+					sp.Name, ri, r.For, sp.SLO.Windows, r.Line)
+			}
+			switch r.Kind {
+			case "p999_above":
+				if r.BoundMS <= 0 {
+					return fmt.Errorf("scenario %q: slo rules[%d]: p999_above needs bound_ms > 0 (line %d)", sp.Name, ri, r.Line)
+				}
+			case "goodput_below":
+				if r.FloorRPS <= 0 {
+					return fmt.Errorf("scenario %q: slo rules[%d]: goodput_below needs floor_rps > 0 (line %d)", sp.Name, ri, r.Line)
+				}
+			case "error_rate_above":
+				if r.Ceiling < 0 || r.Ceiling >= 1 {
+					return fmt.Errorf("scenario %q: slo rules[%d]: error_rate_above needs ceiling in [0, 1) (line %d)", sp.Name, ri, r.Line)
+				}
+			}
+			switch r.Severity {
+			case "warn", "page":
+			default:
+				return fmt.Errorf("scenario %q: slo rules[%d]: unknown severity %q (want warn, page) (line %d)",
+					sp.Name, ri, r.Severity, r.Line)
+			}
 		}
 	}
 	totalMachines := f.Shards * f.Machines

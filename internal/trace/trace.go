@@ -23,11 +23,12 @@ const (
 	KindPlace     Kind = "place"
 	KindPressure  Kind = "pressure"
 	KindRebalance Kind = "rebalance"
-	KindCrash     Kind = "crash"   // a machine failed (fault injection)
-	KindRecover   Kind = "recover" // a machine restarted or a proclet was re-placed
-	KindFault     Kind = "fault"   // a link fault was installed or healed
-	KindSuspect   Kind = "suspect" // a failure-detector state transition
-	KindRepl      Kind = "repl"    // replication plane: ship, promote, depose, resync
+	KindCrash     Kind = "crash"    // a machine failed (fault injection)
+	KindRecover   Kind = "recover"  // a machine restarted or a proclet was re-placed
+	KindFault     Kind = "fault"    // a link fault was installed or healed
+	KindSuspect   Kind = "suspect"  // a failure-detector state transition
+	KindRepl      Kind = "repl"     // replication plane: ship, promote, depose, resync
+	KindIncident  Kind = "incident" // SLO plane: an incident opened or closed
 )
 
 // Event is one control-plane occurrence. From/To are machine IDs (as
@@ -58,6 +59,12 @@ func (e Event) String() string {
 // events, so instrumented code never needs nil checks.
 type Log struct {
 	events []Event
+
+	// OnEmit, when non-nil, observes every event as it is appended.
+	// The flight recorder hangs its bounded ring off this hook; the
+	// hook must not emit into the same log. When nil (the default)
+	// Emit stays a bare append, so the disabled path costs nothing.
+	OnEmit func(Event)
 }
 
 // New creates an empty log.
@@ -69,6 +76,9 @@ func (l *Log) Emit(e Event) {
 		return
 	}
 	l.events = append(l.events, e)
+	if l.OnEmit != nil {
+		l.OnEmit(e)
+	}
 }
 
 // Emitf is shorthand for Emit with a formatted detail string.
